@@ -1,0 +1,93 @@
+// Command loadgen synthesizes a realistic action stream from the
+// workload model and drives it at a running tencentrec server — the
+// "producer" side of the paper's deployment — or writes it to stdout as
+// JSON lines for offline replay.
+//
+// Usage:
+//
+//	loadgen -users 500 -items 300 -actions 100000 -rate 5000 -url http://localhost:8080
+//	loadgen -actions 1000 > actions.jsonl
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tencentrec/internal/core"
+	"tencentrec/internal/topology"
+	"tencentrec/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 500, "population size")
+	items := flag.Int("items", 300, "catalog size")
+	actions := flag.Int("actions", 100000, "number of actions to generate")
+	rate := flag.Int("rate", 0, "actions per second (0 = as fast as possible)")
+	url := flag.String("url", "", "tencentrec server base URL (empty = write JSON lines to stdout)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	w := workload.NewWorld(workload.Config{Seed: *seed, Users: *users, Items: *items})
+	rng := w.Rand()
+	types := []core.ActionType{core.ActionBrowse, core.ActionClick, core.ActionRead, core.ActionShare, core.ActionPurchase}
+
+	var post func(raw topology.RawAction) error
+	if *url == "" {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		post = func(raw topology.RawAction) error {
+			out.Write(topology.EncodeAction(raw))
+			out.WriteByte('\n')
+			return nil
+		}
+	} else {
+		client := &http.Client{Timeout: 5 * time.Second}
+		endpoint := *url + "/action"
+		post = func(raw topology.RawAction) error {
+			resp, err := client.Post(endpoint, "application/json", bytes.NewReader(topology.EncodeAction(raw)))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				return fmt.Errorf("server returned %s", resp.Status)
+			}
+			return nil
+		}
+	}
+
+	var limiter <-chan time.Time
+	if *rate > 0 {
+		t := time.NewTicker(time.Second / time.Duration(*rate))
+		defer t.Stop()
+		limiter = t.C
+	}
+
+	start := time.Now()
+	base := time.Now()
+	for i := 0; i < *actions; i++ {
+		u := w.Users[rng.Intn(len(w.Users))]
+		it := w.SampleItemByPrefs(u)
+		raw := topology.RawAction{
+			User:   u.ID,
+			Item:   it.ID,
+			Action: string(types[rng.Intn(len(types))]),
+			TS:     base.Add(time.Duration(i) * time.Millisecond).UnixNano(),
+		}
+		if limiter != nil {
+			<-limiter
+		}
+		if err := post(raw); err != nil {
+			log.Fatalf("action %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "generated %d actions in %v (%.0f/s)\n",
+		*actions, elapsed.Round(time.Millisecond), float64(*actions)/elapsed.Seconds())
+}

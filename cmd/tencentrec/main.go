@@ -1,0 +1,74 @@
+// Command tencentrec runs a full in-process TencentRec deployment and
+// serves the recommender front end over HTTP (Fig. 9): actions are
+// ingested via POST, recommendations answered via GET, all backed by the
+// TDAccess → topology → TDStore pipeline.
+//
+// Endpoints:
+//
+//	POST /action                       body: {"user","item","action","ts",...}
+//	POST /item                         body: {"id","terms":[...],"published_ns":...}
+//	GET  /recommend?user=u&n=10        CF slate with DB complement
+//	GET  /similar?item=i&n=10          similar-items list
+//	GET  /hot?user=u&n=10              demographic hot list
+//	GET  /ads?region=&gender=&age=&n=  situational ad ranking
+//	GET  /metrics                      topology metrics snapshot
+//
+// Example:
+//
+//	tencentrec -addr :8080 -data /tmp/tencentrec
+//	curl -XPOST localhost:8080/action -d '{"user":"u1","item":"i1","action":"click","ts":0}'
+//	curl 'localhost:8080/recommend?user=u1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"tencentrec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	dataDir := flag.String("data", "", "TDAccess data directory (required)")
+	enableCB := flag.Bool("cb", true, "enable the content-based chain")
+	enableCtr := flag.Bool("ctr", true, "enable the situational CTR chain")
+	enableAR := flag.Bool("ar", false, "enable the association-rule chain")
+	flush := flag.Duration("flush", 100*time.Millisecond, "combiner flush interval")
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "tencentrec: -data is required")
+		os.Exit(2)
+	}
+
+	sys, err := tencentrec.Open(tencentrec.SystemConfig{
+		DataDir: *dataDir,
+		Params: tencentrec.Params{
+			FlushInterval: *flush,
+			EnableAR:      *enableAR,
+		},
+		Features: tencentrec.Features{CF: true, CB: *enableCB, Ctr: *enableCtr, AR: *enableAR},
+	})
+	if err != nil {
+		log.Fatalf("open system: %v", err)
+	}
+	defer sys.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: sys.Handler()}
+	go func() {
+		log.Printf("tencentrec serving on %s (data=%s)", *addr, *dataDir)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,41 @@
+package tencentrec_test
+
+import (
+	"fmt"
+	"time"
+
+	"tencentrec"
+)
+
+// The embedded engine: feed implicit feedback, read recommendations.
+func Example() {
+	rec := tencentrec.NewRecommender(tencentrec.RecommenderConfig{TopK: 10})
+	t0 := time.Date(2015, 5, 31, 9, 0, 0, 0, time.UTC)
+
+	for i, user := range []string{"alice", "bob", "carol"} {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		rec.Observe(tencentrec.NewAction(user, "espresso-machine", tencentrec.ActionPurchase, at))
+		rec.Observe(tencentrec.NewAction(user, "grinder", tencentrec.ActionPurchase, at.Add(time.Second)))
+	}
+	rec.Observe(tencentrec.NewAction("frank", "espresso-machine", tencentrec.ActionPurchase, t0.Add(time.Hour)))
+
+	for _, s := range rec.Recommend("frank", t0.Add(2*time.Hour), tencentrec.RecommendOptions{N: 1}) {
+		fmt.Printf("%s %.2f\n", s.Item, s.Score)
+	}
+	// Output: grinder 3.00
+}
+
+// The similar-items table maintained incrementally by the engine.
+func ExampleRecommender_similarItems() {
+	rec := tencentrec.NewRecommender(tencentrec.RecommenderConfig{})
+	t0 := time.Date(2015, 5, 31, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		user := fmt.Sprintf("u%d", i)
+		rec.Observe(tencentrec.NewAction(user, "series-1", tencentrec.ActionPlay, t0))
+		rec.Observe(tencentrec.NewAction(user, "series-2", tencentrec.ActionPlay, t0.Add(time.Second)))
+	}
+	for _, s := range rec.SimilarItems("series-1", 1) {
+		fmt.Printf("%s %.2f\n", s.Item, s.Score)
+	}
+	// Output: series-2 1.00
+}

@@ -1,0 +1,57 @@
+// Quickstart: embed the practical item-based CF engine directly.
+//
+// This is the smallest possible TencentRec program: feed implicit
+// feedback (browses, purchases) into the incremental engine and ask for
+// recommendations — no broker, store or topology required.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tencentrec"
+)
+
+func main() {
+	rec := tencentrec.NewRecommender(tencentrec.RecommenderConfig{
+		TopK:    10,
+		RecentK: 5,
+	})
+
+	now := time.Now()
+	at := func(s int) time.Time { return now.Add(time.Duration(s) * time.Second) }
+
+	// A handful of shoppers: everyone who buys the espresso machine also
+	// buys the grinder; some also pick up filter papers.
+	shoppers := []string{"alice", "bob", "carol", "dave", "erin"}
+	for i, user := range shoppers {
+		rec.Observe(tencentrec.NewAction(user, "espresso-machine", tencentrec.ActionPurchase, at(i*10)))
+		rec.Observe(tencentrec.NewAction(user, "grinder", tencentrec.ActionPurchase, at(i*10+1)))
+		if i < 2 {
+			rec.Observe(tencentrec.NewAction(user, "filter-papers", tencentrec.ActionBrowse, at(i*10+2)))
+		}
+	}
+
+	// A new customer just bought the espresso machine.
+	rec.Observe(tencentrec.NewAction("frank", "espresso-machine", tencentrec.ActionPurchase, at(100)))
+
+	fmt.Println("similar to espresso-machine:")
+	for _, s := range rec.SimilarItems("espresso-machine", 5) {
+		fmt.Printf("  %-18s %.3f\n", s.Item, s.Score)
+	}
+
+	fmt.Println("\nrecommendations for frank:")
+	for _, s := range rec.Recommend("frank", at(101), tencentrec.RecommendOptions{N: 5, RankBySum: true}) {
+		fmt.Printf("  %-18s %.3f\n", s.Item, s.Score)
+	}
+
+	// The engine updates in real time: one more action and the next
+	// query already reflects it.
+	rec.Observe(tencentrec.NewAction("frank", "grinder", tencentrec.ActionBrowse, at(102)))
+	fmt.Println("\nafter frank browses the grinder:")
+	for _, s := range rec.Recommend("frank", at(103), tencentrec.RecommendOptions{N: 5, RankBySum: true}) {
+		fmt.Printf("  %-18s %.3f\n", s.Item, s.Score)
+	}
+}

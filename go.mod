@@ -1,0 +1,3 @@
+module tencentrec
+
+go 1.22

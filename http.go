@@ -1,0 +1,90 @@
+package tencentrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the recommender front end of Fig. 9 as an
+// http.Handler: ingestion via POST /action and /item, queries via
+// GET /recommend, /similar, /hot, /ads, and the monitor via
+// GET /metrics. cmd/tencentrec serves exactly this handler.
+func (s *System) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /action", func(w http.ResponseWriter, r *http.Request) {
+		var a RawAction
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if a.TS == 0 {
+			a.TS = time.Now().UnixNano()
+		}
+		if err := s.Publish(a); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("POST /item", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			ID          string   `json:"id"`
+			Terms       []string `json:"terms"`
+			PublishedNS int64    `json:"published_ns"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.AddItem(body.ID, body.Terms, time.Unix(0, body.PublishedNS)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /recommend", func(w http.ResponseWriter, r *http.Request) {
+		serveList(w, r, func(n int) ([]ScoredItem, error) {
+			return s.Recommend(r.URL.Query().Get("user"), n)
+		})
+	})
+	mux.HandleFunc("GET /similar", func(w http.ResponseWriter, r *http.Request) {
+		serveList(w, r, func(n int) ([]ScoredItem, error) {
+			return s.SimilarItems(r.URL.Query().Get("item"), n)
+		})
+	})
+	mux.HandleFunc("GET /hot", func(w http.ResponseWriter, r *http.Request) {
+		serveList(w, r, func(n int) ([]ScoredItem, error) {
+			return s.HotItems(r.URL.Query().Get("user"), n)
+		})
+	})
+	mux.HandleFunc("GET /ads", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		serveList(w, r, func(n int) ([]ScoredItem, error) {
+			return s.TopAds(NewAdContext(q.Get("region"), q.Get("gender"), q.Get("age")), n)
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, s.Metrics().String())
+	})
+	return mux
+}
+
+func serveList(w http.ResponseWriter, r *http.Request, fn func(n int) ([]ScoredItem, error)) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = 10
+	}
+	list, err := fn(n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if list == nil {
+		list = []ScoredItem{}
+	}
+	json.NewEncoder(w).Encode(list)
+}

@@ -1,0 +1,153 @@
+package tencentrec
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*System, *httptest.Server) {
+	t.Helper()
+	sys, err := Open(SystemConfig{
+		DataDir:  t.TempDir(),
+		Features: Features{CF: true, CB: true, Ctr: true},
+		Params:   Params{FlushInterval: 20 * time.Millisecond, WindowSessions: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		sys.Close()
+	})
+	return sys, srv
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func getList(t *testing.T, url string) []ScoredItem {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %s", url, resp.Status)
+	}
+	var out []ScoredItem
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPFrontEnd(t *testing.T) {
+	sys, srv := newTestServer(t)
+
+	// Ingest a co-play cluster over HTTP.
+	for _, user := range []string{"u1", "u2", "u3", "u4"} {
+		for i, item := range []string{"show-a", "show-b"} {
+			ts := t0.Add(time.Duration(i) * time.Second).UnixNano()
+			resp := postJSON(t, srv.URL+"/action",
+				`{"user":"`+user+`","item":"`+item+`","action":"play","ts":`+
+					jsonInt(ts)+`}`)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("POST /action = %s", resp.Status)
+			}
+		}
+	}
+	if err := sys.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sims := getList(t, srv.URL+"/similar?item=show-a&n=5")
+	if len(sims) == 0 || sims[0].Item != "show-b" {
+		t.Fatalf("GET /similar = %v", sims)
+	}
+	hot := getList(t, srv.URL+"/hot?user=anyone&n=5")
+	if len(hot) == 0 {
+		t.Fatal("GET /hot returned nothing")
+	}
+	recs := getList(t, srv.URL+"/recommend?user=u1&n=5")
+	// u1 rated both items; the slate comes from the complement and must
+	// not be an error.
+	_ = recs
+
+	// Item registration + metrics.
+	resp := postJSON(t, srv.URL+"/item", `{"id":"n1","terms":["alpha","beta"],"published_ns":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /item = %s", resp.Status)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "userHistory") {
+		t.Fatalf("GET /metrics output missing components: %q", body)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/action", "{not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed action = %s", resp.Status)
+	}
+	resp = postJSON(t, srv.URL+"/item", "{not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed item = %s", resp.Status)
+	}
+	// Unknown routes 404.
+	r, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %s", r.Status)
+	}
+}
+
+func TestHTTPAdsEndpoint(t *testing.T) {
+	sys, srv := newTestServer(t)
+	for i := 0; i < 25; i++ {
+		ts := t0.Add(time.Duration(i) * time.Second).UnixNano()
+		postJSON(t, srv.URL+"/action",
+			`{"user":"x","item":"ad-1","action":"impression","gender":"m","age":"20-30","region":"beijing","ts":`+jsonInt(ts)+`}`)
+		if i < 10 {
+			postJSON(t, srv.URL+"/action",
+				`{"user":"x","item":"ad-1","action":"ad_click","gender":"m","age":"20-30","region":"beijing","ts":`+jsonInt(ts)+`}`)
+		}
+	}
+	if err := sys.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ads := getList(t, srv.URL+"/ads?region=beijing&gender=m&age=20-30&n=3")
+	if len(ads) == 0 || ads[0].Item != "ad-1" {
+		t.Fatalf("GET /ads = %v", ads)
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

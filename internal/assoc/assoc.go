@@ -1,0 +1,255 @@
+// Package assoc implements TencentRec's association-rule based (AR)
+// recommendation algorithm (§4, [24] in the paper), maintained
+// incrementally over the action stream.
+//
+// A "transaction" is a user's set of distinct items interacted with
+// inside the linked-time window. The engine keeps windowed support counts
+// for items and item pairs and recommends by rule confidence:
+// conf(i→j) = supp(i,j) / supp(i), subject to minimum support. Unlike the
+// weighted CF counts, AR counts are occurrence counts — each user
+// contributes at most 1 to supp(i,j) per co-occurrence episode — which is
+// what makes rules interpretable as conditional probabilities.
+package assoc
+
+import (
+	"sort"
+	"time"
+
+	"tencentrec/internal/core"
+	"tencentrec/internal/window"
+)
+
+// Rule is one mined association rule with its statistics.
+type Rule struct {
+	// Antecedent → Consequent.
+	Antecedent, Consequent string
+	// Support is the pair's co-occurrence count in the window.
+	Support float64
+	// Confidence is Support / supp(Antecedent).
+	Confidence float64
+	// Lift is Confidence / P(Consequent); above 1 means positive
+	// association beyond popularity.
+	Lift float64
+}
+
+// Config parameterizes the AR engine.
+type Config struct {
+	// LinkedTime bounds co-occurrence: two items belong to the same
+	// transaction when the same user touches both within this period.
+	// Zero means unbounded.
+	LinkedTime time.Duration
+	// MinSupport is the minimum pair count for a rule to fire.
+	// Default 2.
+	MinSupport float64
+	// MinConfidence filters weak rules. Default 0.05.
+	MinConfidence float64
+	// WindowSessions and SessionDuration window the counts.
+	WindowSessions  int
+	SessionDuration time.Duration
+	// MaxUserHistory caps retained items per user. Default 100.
+	MaxUserHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.05
+	}
+	if c.WindowSessions > 0 && c.SessionDuration <= 0 {
+		c.SessionDuration = time.Hour
+	}
+	if c.MaxUserHistory <= 0 {
+		c.MaxUserHistory = 100
+	}
+	return c
+}
+
+type pairKey struct{ a, b string }
+
+func makePair(p, q string) pairKey {
+	if p < q {
+		return pairKey{p, q}
+	}
+	return pairKey{q, p}
+}
+
+// Engine is the incremental AR recommender.
+// It is not safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	clock window.Clock
+
+	users      map[string]map[string]time.Time // user -> item -> last seen
+	itemSupp   map[string]*window.Counter
+	pairSupp   map[pairKey]*window.Counter
+	totalUsers float64
+}
+
+// NewEngine returns an empty AR engine.
+func NewEngine(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	return &Engine{
+		cfg:      c,
+		clock:    window.Clock{Session: c.SessionDuration},
+		users:    make(map[string]map[string]time.Time),
+		itemSupp: make(map[string]*window.Counter),
+		pairSupp: make(map[pairKey]*window.Counter),
+	}
+}
+
+func (e *Engine) counter(m map[string]*window.Counter, k string) *window.Counter {
+	c, ok := m[k]
+	if !ok {
+		c = window.NewCounter(e.cfg.WindowSessions)
+		m[k] = c
+	}
+	return c
+}
+
+func (e *Engine) pairCounter(k pairKey) *window.Counter {
+	c, ok := e.pairSupp[k]
+	if !ok {
+		c = window.NewCounter(e.cfg.WindowSessions)
+		e.pairSupp[k] = c
+	}
+	return c
+}
+
+// Observe folds one action into the transaction state. A user's first
+// touch of an item inside the linked window counts once toward item
+// support and once toward each pair with the user's other recent items.
+func (e *Engine) Observe(a core.Action) {
+	session := e.clock.SessionOf(a.Time)
+	h := e.users[a.User]
+	if h == nil {
+		h = make(map[string]time.Time)
+		e.users[a.User] = h
+		e.totalUsers++
+	}
+	if last, seen := h[a.Item]; seen {
+		if e.cfg.LinkedTime <= 0 || a.Time.Sub(last) <= e.cfg.LinkedTime {
+			// Repeat touch inside the same transaction: no new support.
+			h[a.Item] = a.Time
+			return
+		}
+		// The previous episode expired; this touch opens a new one.
+	}
+	e.counter(e.itemSupp, a.Item).Add(session, 1)
+	for j, lastJ := range h {
+		if j == a.Item {
+			continue
+		}
+		if e.cfg.LinkedTime > 0 && a.Time.Sub(lastJ) > e.cfg.LinkedTime {
+			continue
+		}
+		e.pairCounter(makePair(a.Item, j)).Add(session, 1)
+	}
+	h[a.Item] = a.Time
+	if len(h) > e.cfg.MaxUserHistory {
+		e.evictOldest(h, a.Item)
+	}
+}
+
+func (e *Engine) evictOldest(h map[string]time.Time, keep string) {
+	oldestItem := ""
+	var oldest time.Time
+	for item, tm := range h {
+		if item == keep {
+			continue
+		}
+		if oldestItem == "" || tm.Before(oldest) {
+			oldestItem = item
+			oldest = tm
+		}
+	}
+	if oldestItem != "" {
+		delete(h, oldestItem)
+	}
+}
+
+// Rules mines the current rules with antecedent item, strongest first.
+func (e *Engine) Rules(item string, now time.Time, n int) []Rule {
+	session := e.clock.SessionOf(now)
+	suppI := 0.0
+	if c, ok := e.itemSupp[item]; ok {
+		suppI = c.Sum(session)
+	}
+	if suppI <= 0 {
+		return nil
+	}
+	var out []Rule
+	for key, pc := range e.pairSupp {
+		if key.a != item && key.b != item {
+			continue
+		}
+		supp := pc.Sum(session)
+		if supp < e.cfg.MinSupport {
+			continue
+		}
+		other := key.a
+		if other == item {
+			other = key.b
+		}
+		conf := supp / suppI
+		if conf < e.cfg.MinConfidence {
+			continue
+		}
+		lift := 0.0
+		if oc, ok := e.itemSupp[other]; ok && e.totalUsers > 0 {
+			pOther := oc.Sum(session) / e.totalUsers
+			if pOther > 0 {
+				lift = conf / pOther
+			}
+		}
+		out = append(out, Rule{Antecedent: item, Consequent: other, Support: supp, Confidence: conf, Lift: lift})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Consequent < out[j].Consequent
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Recommend unions the rules fired by the user's recent items and ranks
+// consequents by their best confidence.
+func (e *Engine) Recommend(user string, now time.Time, n int) []core.ScoredItem {
+	h := e.users[user]
+	if h == nil {
+		return nil
+	}
+	best := make(map[string]float64)
+	for item, last := range h {
+		if e.cfg.LinkedTime > 0 && now.Sub(last) > e.cfg.LinkedTime {
+			continue
+		}
+		for _, r := range e.Rules(item, now, 0) {
+			if _, owned := h[r.Consequent]; owned {
+				continue
+			}
+			if r.Confidence > best[r.Consequent] {
+				best[r.Consequent] = r.Confidence
+			}
+		}
+	}
+	out := make([]core.ScoredItem, 0, len(best))
+	for item, conf := range best {
+		out = append(out, core.ScoredItem{Item: item, Score: conf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

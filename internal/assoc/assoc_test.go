@@ -1,0 +1,133 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"tencentrec/internal/core"
+)
+
+var t0 = time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+
+func obs(e *Engine, user, item string, at time.Duration) {
+	e.Observe(core.Action{User: user, Item: item, Type: core.ActionClick, Time: t0.Add(at)})
+}
+
+func TestRuleConfidence(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 2, MinConfidence: 0.01})
+	// 4 users touch bread; 3 of them also butter.
+	for i := 0; i < 4; i++ {
+		obs(e, fmt.Sprintf("u%d", i), "bread", time.Duration(i)*time.Minute)
+	}
+	for i := 0; i < 3; i++ {
+		obs(e, fmt.Sprintf("u%d", i), "butter", time.Duration(i)*time.Minute+time.Second)
+	}
+	rules := e.Rules("bread", t0.Add(time.Hour), 10)
+	if len(rules) != 1 {
+		t.Fatalf("rules = %v", rules)
+	}
+	r := rules[0]
+	if r.Consequent != "butter" || math.Abs(r.Confidence-0.75) > 1e-9 {
+		t.Fatalf("rule = %+v, want butter conf 0.75", r)
+	}
+	if r.Support != 3 {
+		t.Fatalf("support = %v, want 3", r.Support)
+	}
+	if r.Lift <= 0 {
+		t.Fatalf("lift = %v", r.Lift)
+	}
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 3, MinConfidence: 0.01})
+	obs(e, "u1", "a", 0)
+	obs(e, "u1", "b", time.Second)
+	if rules := e.Rules("a", t0.Add(time.Minute), 10); len(rules) != 0 {
+		t.Fatalf("rule below min support fired: %v", rules)
+	}
+}
+
+func TestRepeatTouchDoesNotInflateSupport(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 1, MinConfidence: 0.01})
+	obs(e, "u1", "a", 0)
+	obs(e, "u1", "b", time.Second)
+	obs(e, "u1", "b", 2*time.Second) // same transaction, no new support
+	obs(e, "u1", "a", 3*time.Second)
+	rules := e.Rules("a", t0.Add(time.Minute), 10)
+	if len(rules) != 1 || rules[0].Support != 1 {
+		t.Fatalf("rules = %v, want single support-1 rule", rules)
+	}
+}
+
+func TestLinkedTimeSeparatesTransactions(t *testing.T) {
+	e := NewEngine(Config{LinkedTime: time.Hour, MinSupport: 1, MinConfidence: 0.01})
+	obs(e, "u1", "a", 0)
+	obs(e, "u1", "b", 2*time.Hour) // outside linked time: no pair
+	if rules := e.Rules("a", t0.Add(3*time.Hour), 10); len(rules) != 0 {
+		t.Fatalf("cross-transaction pair created: %v", rules)
+	}
+}
+
+func TestRecommendRanksByConfidence(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 1, MinConfidence: 0.01})
+	// a→b is stronger than a→c.
+	for i := 0; i < 4; i++ {
+		u := fmt.Sprintf("u%d", i)
+		obs(e, u, "a", time.Duration(i)*time.Minute)
+		obs(e, u, "b", time.Duration(i)*time.Minute+time.Second)
+	}
+	obs(e, "u0", "c", 10*time.Second)
+	obs(e, "x", "a", 20*time.Minute)
+	recs := e.Recommend("x", t0.Add(21*time.Minute), 5)
+	if len(recs) < 2 || recs[0].Item != "b" {
+		t.Fatalf("recs = %v, want b first", recs)
+	}
+	if recs[0].Score <= recs[1].Score {
+		t.Fatalf("ranking not by confidence: %v", recs)
+	}
+}
+
+func TestRecommendSkipsOwnedItems(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 1, MinConfidence: 0.01})
+	obs(e, "u1", "a", 0)
+	obs(e, "u1", "b", time.Second)
+	obs(e, "x", "a", time.Minute)
+	obs(e, "x", "b", time.Minute+time.Second)
+	recs := e.Recommend("x", t0.Add(2*time.Minute), 5)
+	for _, r := range recs {
+		if r.Item == "a" || r.Item == "b" {
+			t.Fatalf("owned item recommended: %v", recs)
+		}
+	}
+}
+
+func TestUnknownUser(t *testing.T) {
+	e := NewEngine(Config{})
+	if recs := e.Recommend("ghost", t0, 5); recs != nil {
+		t.Fatalf("recs for unknown user = %v", recs)
+	}
+}
+
+func TestWindowedSupportExpires(t *testing.T) {
+	e := NewEngine(Config{MinSupport: 1, MinConfidence: 0.01, WindowSessions: 2, SessionDuration: time.Hour})
+	obs(e, "u1", "a", 0)
+	obs(e, "u1", "b", time.Second)
+	if rules := e.Rules("a", t0.Add(time.Minute), 10); len(rules) != 1 {
+		t.Fatalf("fresh rule missing: %v", rules)
+	}
+	if rules := e.Rules("a", t0.Add(6*time.Hour), 10); len(rules) != 0 {
+		t.Fatalf("expired rule still firing: %v", rules)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	e := NewEngine(Config{MaxUserHistory: 3, MinSupport: 1})
+	for i := 0; i < 10; i++ {
+		obs(e, "u", fmt.Sprintf("i%d", i), time.Duration(i)*time.Minute)
+	}
+	if len(e.users["u"]) > 4 {
+		t.Fatalf("history size %d, cap 3", len(e.users["u"]))
+	}
+}

@@ -1,0 +1,105 @@
+// Package cache implements the fine-grained cache of §5.2, used to absorb
+// temporal burst events.
+//
+// Bursts have locality: "the small portion of the items attract the large
+// portion of users' attention", so caching "in the granularity of data
+// instance, i.e., a key-value pair" turns most of a burst's store reads
+// into memory hits. Consistency follows the paper's protocol: stream
+// grouping already sends all tuples with one key to one worker, so each
+// worker's cache is authoritative for its keys; writers update the cache
+// first and write through to the store, and reads prefer the cache.
+package cache
+
+import "container/list"
+
+// Store is the backing read interface (a TDStore client in production).
+type Store interface {
+	Get(key string) ([]byte, bool, error)
+}
+
+// Cache is an LRU key-value cache in front of a Store.
+// It is not safe for concurrent use; each pipeline task owns one,
+// which is exactly the single-writer discipline §5.2 relies on.
+type Cache struct {
+	store    Store
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+
+	hits, misses int64
+}
+
+type entry struct {
+	key   string
+	value []byte
+}
+
+// New returns a cache of the given capacity over store.
+// A nil store serves misses as absent.
+func New(store Store, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the value for key, from cache or the backing store.
+// Store values are cached on read.
+func (c *Cache) Get(key string) ([]byte, bool, error) {
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*entry).value, true, nil
+	}
+	c.misses++
+	if c.store == nil {
+		return nil, false, nil
+	}
+	v, ok, err := c.store.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	c.insert(key, v)
+	return v, true, nil
+}
+
+// Put records a write: the paper's updating workers "first read the data
+// from the cache and then update it both in cache and in TDStore"; the
+// store write-through is the caller's next step (often via a combiner).
+func (c *Cache) Put(key string, value []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.insert(key, value)
+}
+
+// Invalidate drops a key from the cache.
+func (c *Cache) Invalidate(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *Cache) insert(key string, value []byte) {
+	el := c.order.PushFront(&entry{key: key, value: value})
+	c.entries[key] = el
+	if c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Stats returns hit and miss counts since creation.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,112 @@
+package combiner
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMerge(t *testing.T) {
+	c := New(Sum)
+	c.Add("item:hot", 1)
+	c.Add("item:hot", 2)
+	c.Add("item:cold", 5)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	got := make(map[string]float64)
+	n := c.Flush(func(k string, v float64) { got[k] = v })
+	if n != 2 || got["item:hot"] != 3 || got["item:cold"] != 5 {
+		t.Fatalf("Flush = %d %v", n, got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("buffer not cleared after flush")
+	}
+}
+
+func TestMaxMerge(t *testing.T) {
+	c := New(Max)
+	c.Add("rating", 1)
+	c.Add("rating", 3)
+	c.Add("rating", 2)
+	var got float64
+	c.Flush(func(_ string, v float64) { got = v })
+	if got != 3 {
+		t.Fatalf("max merge = %v, want 3", got)
+	}
+}
+
+func TestCountMerge(t *testing.T) {
+	c := New(Count)
+	for i := 0; i < 5; i++ {
+		c.Add("k", 99) // value ignored after first
+	}
+	var got float64
+	c.Flush(func(_ string, v float64) { got = v })
+	// First Add stores 99; each subsequent Add counts. This matches the
+	// combiner being seeded with an initial value then incremented.
+	if got != 99+4 {
+		t.Fatalf("count merge = %v, want 103", got)
+	}
+}
+
+func TestHotKeyReductionGrowsWithSkew(t *testing.T) {
+	// The §5.3 claim: the hotter the traffic, the better the merge
+	// ratio. All updates on one key collapse to a single flush.
+	c := New(Sum)
+	for i := 0; i < 1000; i++ {
+		c.Add("hot-news", 1)
+	}
+	writes := c.Flush(func(string, float64) {})
+	if writes != 1 {
+		t.Fatalf("1000 hot updates flushed as %d writes, want 1", writes)
+	}
+	offered, merged := c.Stats()
+	if offered != 1000 || merged != 999 {
+		t.Fatalf("stats = %d offered, %d merged", offered, merged)
+	}
+}
+
+func TestFlushEmptyBuffer(t *testing.T) {
+	c := New(Sum)
+	if n := c.Flush(func(string, float64) { t.Fatal("emit on empty flush") }); n != 0 {
+		t.Fatalf("empty flush = %d", n)
+	}
+}
+
+func TestSumEqualsUnbufferedProperty(t *testing.T) {
+	// Flushed sums must equal the sums of direct accumulation, whatever
+	// the interleaving of keys and flushes.
+	type op struct {
+		Key   uint8
+		Val   int8
+		Flush bool
+	}
+	f := func(ops []op) bool {
+		c := New(Sum)
+		direct := make(map[string]float64)
+		flushed := make(map[string]float64)
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			c.Add(k, float64(o.Val))
+			direct[k] += float64(o.Val)
+			if o.Flush {
+				c.Flush(func(key string, v float64) { flushed[key] += v })
+			}
+		}
+		c.Flush(func(key string, v float64) { flushed[key] += v })
+		if len(direct) != len(flushed) {
+			return false
+		}
+		for k, v := range direct {
+			d := flushed[k] - v
+			if d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

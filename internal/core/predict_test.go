@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestEquation2ExactValue verifies the prediction formula by hand:
+// r̂(u,p) = Σ sim(p,q)·r(u,q) / Σ sim(p,q) over the user's items q.
+func TestEquation2ExactValue(t *testing.T) {
+	cf := NewItemCF(Config{RecentK: 10})
+	// Build a tiny world with known similarities:
+	// u1,u2 co-browse (a,c); u3 browses only c; u1 purchases b then
+	// browses c so (b,c) co-rated.
+	cf.Observe(Action{User: "u1", Item: "a", Type: ActionBrowse, Time: at(0)})
+	cf.Observe(Action{User: "u2", Item: "a", Type: ActionBrowse, Time: at(time.Second)})
+	cf.Observe(Action{User: "u1", Item: "c", Type: ActionBrowse, Time: at(2 * time.Second)})
+	cf.Observe(Action{User: "u2", Item: "c", Type: ActionBrowse, Time: at(3 * time.Second)})
+	cf.Observe(Action{User: "u3", Item: "c", Type: ActionBrowse, Time: at(4 * time.Second)})
+	cf.Observe(Action{User: "u4", Item: "b", Type: ActionPurchase, Time: at(5 * time.Second)})
+	cf.Observe(Action{User: "u4", Item: "c", Type: ActionBrowse, Time: at(6 * time.Second)})
+
+	now := at(time.Minute)
+	// Target user rates a (browse=1) and b (purchase=3); candidate c.
+	cf.Observe(Action{User: "x", Item: "a", Type: ActionBrowse, Time: at(10 * time.Second)})
+	cf.Observe(Action{User: "x", Item: "b", Type: ActionPurchase, Time: at(11 * time.Second)})
+
+	// Prediction reads the similar-items lists, whose scores are as of
+	// each pair's last update (x's own later actions moved the live
+	// itemCounts but no pair observation has refreshed the lists).
+	listScore := func(item, other string) float64 {
+		for _, s := range cf.SimilarItems(item, 0) {
+			if s.Item == other {
+				return s.Score
+			}
+		}
+		t.Fatalf("%s missing from %s's similar list", other, item)
+		return 0
+	}
+	simAC := listScore("a", "c")
+	simBC := listScore("b", "c")
+	if simAC <= 0 || simBC <= 0 {
+		t.Fatalf("setup broken: simAC=%v simBC=%v", simAC, simBC)
+	}
+	want := (simAC*1 + simBC*3) / (simAC + simBC)
+
+	recs := cf.Recommend("x", now, RecommendOptions{N: 5})
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	var got float64
+	found := false
+	for _, r := range recs {
+		if r.Item == "c" {
+			got = r.Score
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("candidate c missing from %v", recs)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Eq. 2 score = %v, hand-computed %v", got, want)
+	}
+}
+
+// bruteWindowedSimilarity recomputes the windowed Eq. 10 similarity from
+// the full action log: a rating is visible if its LAST update session is
+// within the window, and count contributions are per-session deltas.
+func bruteWindowedSimilarity(actions []Action, weights map[ActionType]float64,
+	w int, sess time.Duration, p, q string, now time.Time) float64 {
+	currentSession := now.UnixNano() / int64(sess)
+	type cell struct {
+		rating  float64
+		session int64
+	}
+	ratings := make(map[string]map[string]*cell)
+	itemCounts := make(map[string]map[int64]float64) // item -> session -> delta
+	pairCounts := make(map[[2]string]map[int64]float64)
+	for _, a := range actions {
+		weight := weights[a.Type]
+		session := a.Time.UnixNano() / int64(sess)
+		m := ratings[a.User]
+		if m == nil {
+			m = make(map[string]*cell)
+			ratings[a.User] = m
+		}
+		cur := m[a.Item]
+		var oldR float64
+		if cur != nil && cur.session > session-int64(w) {
+			oldR = cur.rating
+		}
+		newR := math.Max(oldR, weight)
+		if d := newR - oldR; d > 0 {
+			if itemCounts[a.Item] == nil {
+				itemCounts[a.Item] = make(map[int64]float64)
+			}
+			itemCounts[a.Item][session] += d
+		}
+		for j, cj := range m {
+			if j == a.Item {
+				continue
+			}
+			var rJ float64
+			if cj.session > session-int64(w) {
+				rJ = cj.rating
+			}
+			if rJ <= 0 {
+				continue
+			}
+			d := math.Min(newR, rJ) - math.Min(oldR, rJ)
+			key := [2]string{a.Item, j}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if pairCounts[key] == nil {
+				pairCounts[key] = make(map[int64]float64)
+			}
+			pairCounts[key][session] += d
+		}
+		if cur == nil {
+			cur = &cell{}
+			m[a.Item] = cur
+		}
+		cur.rating = newR
+		cur.session = session
+	}
+	sum := func(per map[int64]float64) float64 {
+		var total float64
+		for s, v := range per {
+			if s > currentSession-int64(w) && s <= currentSession {
+				total += v
+			}
+		}
+		return total
+	}
+	key := [2]string{p, q}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	return Similarity(sum(pairCounts[key]), sum(itemCounts[p]), sum(itemCounts[q]))
+}
+
+// TestWindowedIncrementalMatchesBruteForceProperty extends the §4.1.3
+// equivalence check to sliding windows (Eq. 10).
+func TestWindowedIncrementalMatchesBruteForceProperty(t *testing.T) {
+	type step struct {
+		U, I, T, Dt uint8
+	}
+	types := []ActionType{ActionBrowse, ActionRead, ActionPurchase}
+	weights := DefaultWeights()
+	const w = 3
+	sess := time.Hour
+	f := func(steps []step) bool {
+		cf := NewItemCF(Config{WindowSessions: w, SessionDuration: sess})
+		var log []Action
+		tm := t0
+		for _, s := range steps {
+			tm = tm.Add(time.Duration(s.Dt%90) * time.Minute)
+			a := Action{
+				User: fmt.Sprintf("u%d", s.U%4),
+				Item: fmt.Sprintf("i%d", s.I%6),
+				Type: types[int(s.T)%len(types)],
+				Time: tm,
+			}
+			cf.Observe(a)
+			log = append(log, a)
+		}
+		for a := 0; a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				p, q := fmt.Sprintf("i%d", a), fmt.Sprintf("i%d", b)
+				want := bruteWindowedSimilarity(log, weights, w, sess, p, q, tm)
+				got := cf.Similarity(p, q, tm)
+				if math.Abs(got-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendOptionsDefaults(t *testing.T) {
+	cf := NewItemCF(Config{})
+	for u := 0; u < 3; u++ {
+		user := fmt.Sprintf("u%d", u)
+		for i := 0; i < 15; i++ {
+			cf.Observe(Action{User: user, Item: fmt.Sprintf("i%d", i), Type: ActionBrowse,
+				Time: at(time.Duration(u*100+i) * time.Second)})
+		}
+	}
+	cf.Observe(Action{User: "x", Item: "i0", Type: ActionBrowse, Time: at(time.Hour)})
+	// N <= 0 defaults to 10.
+	recs := cf.Recommend("x", at(2*time.Hour), RecommendOptions{})
+	if len(recs) > 10 {
+		t.Fatalf("default N produced %d items", len(recs))
+	}
+}
+
+func TestModelRecommendExclude(t *testing.T) {
+	cf := NewItemCF(Config{})
+	for u := 0; u < 4; u++ {
+		user := fmt.Sprintf("u%d", u)
+		cf.Observe(Action{User: user, Item: "a", Type: ActionBrowse, Time: at(0)})
+		cf.Observe(Action{User: user, Item: "b", Type: ActionBrowse, Time: at(time.Second)})
+		cf.Observe(Action{User: user, Item: "c", Type: ActionBrowse, Time: at(2 * time.Second)})
+	}
+	m := cf.Snapshot()
+	recs := m.Recommend(map[string]float64{"a": 1}, RecommendOptions{N: 5, Exclude: map[string]bool{"b": true}})
+	for _, r := range recs {
+		if r.Item == "b" {
+			t.Fatal("excluded item recommended by model")
+		}
+	}
+	if len(recs) == 0 || recs[0].Item != "c" {
+		t.Fatalf("model recs = %v, want c", recs)
+	}
+}

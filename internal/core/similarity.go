@@ -1,0 +1,45 @@
+package core
+
+import "math"
+
+// Similarity computes the practical similarity of Eq. 5:
+//
+//	sim(ip, iq) = pairCount(ip, iq) / (sqrt(itemCount(ip)) * sqrt(itemCount(iq)))
+//
+// where itemCount(ip) = Σ_u r(u,p) (Eq. 6) and pairCount is the sum of
+// min-co-ratings (Eq. 7). With ratings in [0, R] and co-ratings defined by
+// Eq. 3, the result falls in [0, 1]. Zero counts yield zero similarity.
+func Similarity(pairCount, itemCountP, itemCountQ float64) float64 {
+	if pairCount <= 0 || itemCountP <= 0 || itemCountQ <= 0 {
+		return 0
+	}
+	return pairCount / (math.Sqrt(itemCountP) * math.Sqrt(itemCountQ))
+}
+
+// CoRating is Eq. 3: the co-rating a user contributes to an item pair is
+// the minimum of the user's two ratings.
+func CoRating(ratingP, ratingQ float64) float64 {
+	return math.Min(ratingP, ratingQ)
+}
+
+// CosineSimilarity is the classic Eq. 1 measure for explicit ratings:
+// dot(p,q) / (||p|| * ||q||) given the precomputed aggregates
+// dot = Σ r(u,p)·r(u,q) and the squared norms Σ r(u,p)², Σ r(u,q)².
+// It is used by the explicit-feedback baseline (StreamRec-style) in the
+// implicit-vs-explicit ablation.
+func CosineSimilarity(dot, normSqP, normSqQ float64) float64 {
+	if dot <= 0 || normSqP <= 0 || normSqQ <= 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(normSqP) * math.Sqrt(normSqQ))
+}
+
+// HoeffdingEpsilon is Eq. 9: with probability 1-δ, the true mean of a
+// random variable with range R differs from the empirical mean of n
+// observations by at most ε = sqrt(R²·ln(1/δ) / 2n).
+func HoeffdingEpsilon(rangeR, delta float64, n int) float64 {
+	if n <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(rangeR * rangeR * math.Log(1/delta) / (2 * float64(n)))
+}

@@ -1,0 +1,167 @@
+package core
+
+import "sort"
+
+// UserBasedCF is the classic user-based collaborative filtering the paper
+// contrasts with its item-based approach (§4.1: "User-based CF methods
+// generate recommendations based on a few customers who are most similar
+// to the user... empirical evidence has shown that item-based CF method
+// can provide better performance"). It is a batch baseline: user-user
+// cosine similarities are recomputed on Train, which is exactly why it
+// does not scale to the streaming setting — every new rating perturbs a
+// whole row of the user-user matrix.
+type UserBasedCF struct {
+	// Neighbors is the number of most similar users consulted per
+	// prediction. Default 20.
+	Neighbors int
+
+	ratings map[string]map[string]float64 // user -> item -> rating
+}
+
+// NewUserBasedCF returns an empty user-based CF baseline.
+func NewUserBasedCF(neighbors int) *UserBasedCF {
+	if neighbors <= 0 {
+		neighbors = 20
+	}
+	return &UserBasedCF{Neighbors: neighbors, ratings: make(map[string]map[string]float64)}
+}
+
+// Rate records a rating, replacing any previous value.
+func (u *UserBasedCF) Rate(user, item string, rating float64) {
+	m, ok := u.ratings[user]
+	if !ok {
+		m = make(map[string]float64)
+		u.ratings[user] = m
+	}
+	m[item] = rating
+}
+
+// Observe folds an implicit action in with the max-weight convention, so
+// the baseline consumes the same streams as ItemCF.
+func (u *UserBasedCF) Observe(a Action, weights map[ActionType]float64) {
+	if weights == nil {
+		weights = DefaultWeights()
+	}
+	w := weights[a.Type]
+	if w <= 0 {
+		return
+	}
+	if cur := u.ratings[a.User][a.Item]; w > cur {
+		u.Rate(a.User, a.Item, w)
+	}
+}
+
+// UserModel is a trained user-based model: each user's nearest
+// neighbors by rating-vector cosine.
+type UserModel struct {
+	neighbors map[string][]ScoredItem // user -> (neighbor user, similarity)
+	ratings   map[string]map[string]float64
+	k         int
+}
+
+// Train computes all user-user cosines and retains each user's top
+// neighbors. Cost is O(users² · overlap) — the scalability wall the
+// paper's item-based design avoids.
+func (u *UserBasedCF) Train() *UserModel {
+	users := make([]string, 0, len(u.ratings))
+	for id := range u.ratings {
+		users = append(users, id)
+	}
+	sort.Strings(users)
+	normSq := make(map[string]float64, len(users))
+	for id, items := range u.ratings {
+		var n float64
+		for _, r := range items {
+			n += r * r
+		}
+		normSq[id] = n
+	}
+	m := &UserModel{
+		neighbors: make(map[string][]ScoredItem, len(users)),
+		ratings:   u.ratings,
+		k:         u.Neighbors,
+	}
+	for i, a := range users {
+		ra := u.ratings[a]
+		for _, b := range users[i+1:] {
+			rb := u.ratings[b]
+			// Iterate the smaller vector for the dot product.
+			small, large := ra, rb
+			if len(rb) < len(ra) {
+				small, large = rb, ra
+			}
+			var dot float64
+			for item, r := range small {
+				if r2, ok := large[item]; ok {
+					dot += r * r2
+				}
+			}
+			sim := CosineSimilarity(dot, normSq[a], normSq[b])
+			if sim <= 0 {
+				continue
+			}
+			m.neighbors[a] = append(m.neighbors[a], ScoredItem{Item: b, Score: sim})
+			m.neighbors[b] = append(m.neighbors[b], ScoredItem{Item: a, Score: sim})
+		}
+	}
+	for id, ns := range m.neighbors {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Score != ns[j].Score {
+				return ns[i].Score > ns[j].Score
+			}
+			return ns[i].Item < ns[j].Item
+		})
+		if len(ns) > m.k {
+			ns = ns[:m.k]
+		}
+		m.neighbors[id] = ns
+	}
+	return m
+}
+
+// Neighbors returns the user's nearest neighbors with similarities.
+func (m *UserModel) Neighbors(user string) []ScoredItem {
+	return m.neighbors[user]
+}
+
+// Recommend predicts by similarity-weighted neighbor ratings: the items
+// the user's most similar customers rated that the user has not.
+func (m *UserModel) Recommend(user string, n int) []ScoredItem {
+	if n <= 0 {
+		n = 10
+	}
+	own := m.ratings[user]
+	type acc struct{ num, den float64 }
+	cand := make(map[string]*acc)
+	for _, nb := range m.neighbors[user] {
+		for item, r := range m.ratings[nb.Item] {
+			if _, rated := own[item]; rated {
+				continue
+			}
+			a := cand[item]
+			if a == nil {
+				a = &acc{}
+				cand[item] = a
+			}
+			a.num += nb.Score * r
+			a.den += nb.Score
+		}
+	}
+	out := make([]ScoredItem, 0, len(cand))
+	for item, a := range cand {
+		if a.den <= 0 {
+			continue
+		}
+		out = append(out, ScoredItem{Item: item, Score: a.num / a.den})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestUserCFNeighborsAreCosine(t *testing.T) {
+	u := NewUserBasedCF(5)
+	// alice and bob have identical taste; carol is orthogonal.
+	u.Rate("alice", "a", 2)
+	u.Rate("alice", "b", 2)
+	u.Rate("bob", "a", 1)
+	u.Rate("bob", "b", 1)
+	u.Rate("carol", "c", 3)
+	m := u.Train()
+	ns := m.Neighbors("alice")
+	if len(ns) != 1 || ns[0].Item != "bob" {
+		t.Fatalf("Neighbors(alice) = %v, want bob only", ns)
+	}
+	if math.Abs(ns[0].Score-1.0) > 1e-9 {
+		t.Fatalf("cosine(alice,bob) = %v, want 1 (parallel vectors)", ns[0].Score)
+	}
+}
+
+func TestUserCFRecommendFromNeighbors(t *testing.T) {
+	u := NewUserBasedCF(5)
+	// The target shares taste with u1/u2 who also rated "hidden".
+	for _, user := range []string{"u1", "u2"} {
+		u.Rate(user, "a", 2)
+		u.Rate(user, "b", 2)
+		u.Rate(user, "hidden", 3)
+	}
+	u.Rate("target", "a", 2)
+	u.Rate("target", "b", 2)
+	// An unrelated user likes something else entirely.
+	u.Rate("loner", "z", 3)
+	m := u.Train()
+	recs := m.Recommend("target", 3)
+	if len(recs) == 0 || recs[0].Item != "hidden" {
+		t.Fatalf("Recommend = %v, want hidden first", recs)
+	}
+	for _, r := range recs {
+		if r.Item == "a" || r.Item == "b" {
+			t.Fatal("already-rated item recommended")
+		}
+	}
+	// Prediction value: both neighbors rated hidden 3 → weighted avg 3.
+	if math.Abs(recs[0].Score-3) > 1e-9 {
+		t.Fatalf("predicted rating = %v, want 3", recs[0].Score)
+	}
+}
+
+func TestUserCFNeighborCap(t *testing.T) {
+	u := NewUserBasedCF(2)
+	for i := 0; i < 6; i++ {
+		user := fmt.Sprintf("u%d", i)
+		u.Rate(user, "shared", 1)
+		u.Rate(user, fmt.Sprintf("own%d", i), float64(i+1))
+	}
+	m := u.Train()
+	if got := len(m.Neighbors("u0")); got > 2 {
+		t.Fatalf("neighbor list has %d entries, cap 2", got)
+	}
+}
+
+func TestUserCFObserveMaxWeight(t *testing.T) {
+	u := NewUserBasedCF(5)
+	now := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+	u.Observe(Action{User: "u", Item: "i", Type: ActionBrowse, Time: now}, nil)
+	u.Observe(Action{User: "u", Item: "i", Type: ActionPurchase, Time: now}, nil)
+	u.Observe(Action{User: "u", Item: "i", Type: ActionBrowse, Time: now}, nil)
+	if got := u.ratings["u"]["i"]; got != 3 {
+		t.Fatalf("rating = %v, want max weight 3", got)
+	}
+	u.Observe(Action{User: "u", Item: "x", Type: "unknown"}, nil)
+	if _, ok := u.ratings["u"]["x"]; ok {
+		t.Fatal("unknown action type rated")
+	}
+}
+
+func TestUserCFColdUser(t *testing.T) {
+	u := NewUserBasedCF(5)
+	u.Rate("a", "i", 1)
+	m := u.Train()
+	if recs := m.Recommend("stranger", 5); len(recs) != 0 {
+		t.Fatalf("cold user got %v", recs)
+	}
+}
+
+// TestItemCFBeatsUserCFOnDrift demonstrates the paper's preference for
+// item-based CF in the streaming setting: after a taste shift, the
+// incremental item-based engine adapts immediately while the batch
+// user-based model still recommends from stale neighborhoods.
+func TestItemCFBeatsUserCFOnDrift(t *testing.T) {
+	now := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+	icf := NewItemCF(Config{RecentK: 3})
+	ucf := NewUserBasedCF(5)
+	feed := func(a Action) {
+		icf.Observe(a)
+		ucf.Observe(a, nil)
+	}
+	// Two stable taste groups.
+	for g, items := range [][]string{{"g0a", "g0b", "g0c"}, {"g1a", "g1b", "g1c"}} {
+		for u := 0; u < 5; u++ {
+			user := fmt.Sprintf("g%d-u%d", g, u)
+			for i, item := range items {
+				feed(Action{User: user, Item: item, Type: ActionPlay,
+					Time: now.Add(time.Duration(u*10+i) * time.Minute)})
+			}
+		}
+	}
+	// The target lived in group 0...
+	for i, item := range []string{"g0a", "g0b"} {
+		feed(Action{User: "drifter", Item: item, Type: ActionPlay,
+			Time: now.Add(time.Duration(100+i) * time.Minute)})
+	}
+	model := ucf.Train() // the batch model is trained here and goes stale
+	// ...then shifts to group 1 (the model does not see this).
+	for i, item := range []string{"g1a", "g1b"} {
+		icf.Observe(Action{User: "drifter", Item: item, Type: ActionPlay,
+			Time: now.Add(time.Duration(200+i) * time.Minute)})
+	}
+	itemRecs := icf.Recommend("drifter", now.Add(300*time.Minute), RecommendOptions{N: 1, RankBySum: true})
+	if len(itemRecs) == 0 || itemRecs[0].Item != "g1c" {
+		t.Fatalf("item-based recs = %v, want g1c (the new interest)", itemRecs)
+	}
+	userRecs := model.Recommend("drifter", 1)
+	if len(userRecs) == 0 || userRecs[0].Item != "g0c" {
+		t.Fatalf("stale user-based recs = %v, want g0c (the old interest)", userRecs)
+	}
+}

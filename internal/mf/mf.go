@@ -1,0 +1,245 @@
+// Package mf implements an online matrix-factorization recommender, the
+// paper's second item of future work (§7: "we plan to provide more
+// machine learning techniques used in recommender systems in later
+// TencentRec") in the style of its reference [21] (Rendle &
+// Schmidt-Thieme, online-updating regularized matrix factorization).
+//
+// The model keeps low-rank user and item factor vectors and folds every
+// incoming implicit-feedback action in with a few SGD steps — the same
+// observe-once, update-incrementally contract as the item-based CF
+// engine, so it drops into the same pipelines. Implicit feedback is
+// handled by weight-graded targets plus one sampled negative per
+// positive (BPR-flavoured, without the full pairwise loss).
+package mf
+
+import (
+	"math/rand"
+	"sort"
+
+	"tencentrec/internal/core"
+)
+
+// Config parameterizes the online MF engine.
+type Config struct {
+	// Factors is the latent dimensionality. Default 16.
+	Factors int
+	// LearningRate is the SGD step size. Default 0.05.
+	LearningRate float64
+	// Regularization is the L2 penalty. Default 0.01.
+	Regularization float64
+	// StepsPerAction is how many SGD passes one observation gets.
+	// Default 2.
+	StepsPerAction int
+	// NegativeSamples is the number of random unobserved items pushed
+	// down per positive. Default 1.
+	NegativeSamples int
+	// Weights maps action types to implicit confidence targets in
+	// (0, 1]; the target for a negative sample is 0. Nil scales
+	// core.DefaultWeights into (0, 1].
+	Weights map[core.ActionType]float64
+	// Seed drives factor initialization and negative sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Factors <= 0 {
+		c.Factors = 16
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Regularization <= 0 {
+		c.Regularization = 0.01
+	}
+	if c.StepsPerAction <= 0 {
+		c.StepsPerAction = 2
+	}
+	if c.NegativeSamples < 0 {
+		c.NegativeSamples = 0
+	} else if c.NegativeSamples == 0 {
+		c.NegativeSamples = 1
+	}
+	if c.Weights == nil {
+		c.Weights = make(map[core.ActionType]float64)
+		var max float64
+		base := core.DefaultWeights()
+		for _, w := range base {
+			if w > max {
+				max = w
+			}
+		}
+		for t, w := range base {
+			c.Weights[t] = w / max
+		}
+	}
+	return c
+}
+
+// Engine is the online MF model. It is not safe for concurrent use.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+
+	users map[string][]float64
+	items map[string][]float64
+	// itemIDs mirrors the items map for O(1) negative sampling and
+	// deterministic full scans.
+	itemIDs []string
+	seen    map[string]map[string]bool // user -> items interacted
+}
+
+// NewEngine returns an empty online MF engine.
+func NewEngine(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	return &Engine{
+		cfg:   c,
+		rng:   rand.New(rand.NewSource(c.Seed + 1)),
+		users: make(map[string][]float64),
+		items: make(map[string][]float64),
+		seen:  make(map[string]map[string]bool),
+	}
+}
+
+// factors returns (creating if needed) the latent vector for a key.
+func (e *Engine) factors(m map[string][]float64, key string, isItem bool) []float64 {
+	v, ok := m[key]
+	if !ok {
+		v = make([]float64, e.cfg.Factors)
+		// Small deterministic init derived from the key, so insertion
+		// order does not change the model.
+		h := fnv64(key)
+		local := rand.New(rand.NewSource(int64(h) ^ e.cfg.Seed))
+		for i := range v {
+			v[i] = (local.Float64() - 0.5) * 0.1
+		}
+		m[key] = v
+		if isItem {
+			e.itemIDs = append(e.itemIDs, key)
+		}
+	}
+	return v
+}
+
+func fnv64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// AddItem registers an item so it participates in scans and negative
+// sampling before its first interaction.
+func (e *Engine) AddItem(id string) { e.factors(e.items, id, true) }
+
+// Observe folds one action into the model: SGD toward the action's
+// confidence target, plus sampled negatives toward zero.
+func (e *Engine) Observe(a core.Action) {
+	target, ok := e.cfg.Weights[a.Type]
+	if !ok || target <= 0 {
+		return
+	}
+	pu := e.factors(e.users, a.User, false)
+	qi := e.factors(e.items, a.Item, true)
+	for s := 0; s < e.cfg.StepsPerAction; s++ {
+		e.step(pu, qi, target)
+	}
+	for n := 0; n < e.cfg.NegativeSamples && len(e.itemIDs) > 1; n++ {
+		neg := e.itemIDs[e.rng.Intn(len(e.itemIDs))]
+		if neg == a.Item || e.seen[a.User][neg] {
+			continue
+		}
+		e.step(pu, e.items[neg], 0)
+	}
+	s := e.seen[a.User]
+	if s == nil {
+		s = make(map[string]bool)
+		e.seen[a.User] = s
+	}
+	s[a.Item] = true
+}
+
+// step performs one regularized SGD update toward target.
+func (e *Engine) step(pu, qi []float64, target float64) {
+	pred := dot(pu, qi)
+	err := target - pred
+	lr, reg := e.cfg.LearningRate, e.cfg.Regularization
+	for f := range pu {
+		pf, qf := pu[f], qi[f]
+		pu[f] += lr * (err*qf - reg*pf)
+		qi[f] += lr * (err*pf - reg*qf)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Predict returns the model score for a user-item pair (0 for unknown
+// users or items).
+func (e *Engine) Predict(user, item string) float64 {
+	pu, ok := e.users[user]
+	if !ok {
+		return 0
+	}
+	qi, ok := e.items[item]
+	if !ok {
+		return 0
+	}
+	return dot(pu, qi)
+}
+
+// Recommend scores every known item for the user and returns the n best
+// the user has not interacted with.
+func (e *Engine) Recommend(user string, n int, exclude map[string]bool) []core.ScoredItem {
+	pu, ok := e.users[user]
+	if !ok {
+		return nil
+	}
+	if n <= 0 {
+		n = 10
+	}
+	interacted := e.seen[user]
+	out := make([]core.ScoredItem, 0, len(e.itemIDs))
+	for _, id := range e.itemIDs {
+		if interacted[id] || exclude[id] {
+			continue
+		}
+		out = append(out, core.ScoredItem{Item: id, Score: dot(pu, e.items[id])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Users and Items report model sizes.
+func (e *Engine) Users() int { return len(e.users) }
+
+// Items reports the number of item vectors.
+func (e *Engine) Items() int { return len(e.items) }
+
+// TrainBatch replays a slice of actions (a warm-start helper for
+// deployments that bootstrap from historical logs before going online).
+func (e *Engine) TrainBatch(actions []core.Action, epochs int) {
+	if epochs <= 0 {
+		epochs = 1
+	}
+	for ep := 0; ep < epochs; ep++ {
+		for _, a := range actions {
+			e.Observe(a)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package mf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tencentrec/internal/core"
+)
+
+var t0 = time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+
+// blockWorld generates actions where users in cluster c interact with
+// items in cluster c.
+func blockWorld(seed int64, users, items, clusters, actionsPerUser int) []core.Action {
+	rng := rand.New(rand.NewSource(seed))
+	var out []core.Action
+	for u := 0; u < users; u++ {
+		c := u % clusters
+		for k := 0; k < actionsPerUser; k++ {
+			it := c*(items/clusters) + rng.Intn(items/clusters)
+			out = append(out, core.Action{
+				User: fmt.Sprintf("u%d", u),
+				Item: fmt.Sprintf("i%d", it),
+				Type: core.ActionClick,
+				Time: t0.Add(time.Duration(len(out)) * time.Second),
+			})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestMFLearnsBlockStructure(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	actions := blockWorld(1, 40, 40, 4, 30)
+	e.TrainBatch(actions, 3)
+
+	// In-cluster predictions must beat cross-cluster on average.
+	var in, cross float64
+	var nIn, nCross int
+	for u := 0; u < 40; u++ {
+		uc := u % 4
+		for i := 0; i < 40; i++ {
+			p := e.Predict(fmt.Sprintf("u%d", u), fmt.Sprintf("i%d", i))
+			if i/10 == uc {
+				in += p
+				nIn++
+			} else {
+				cross += p
+				nCross++
+			}
+		}
+	}
+	in /= float64(nIn)
+	cross /= float64(nCross)
+	if in <= cross+0.1 {
+		t.Fatalf("block structure not learned: in=%v cross=%v", in, cross)
+	}
+}
+
+func TestMFRecommendPrefersOwnCluster(t *testing.T) {
+	e := NewEngine(Config{Seed: 2})
+	e.TrainBatch(blockWorld(2, 40, 40, 4, 30), 3)
+	// A newcomer touches three cluster-0 items; their slate should lean
+	// toward the remaining cluster-0 items (established users have
+	// consumed most of their cluster, so they are a poor probe here).
+	for pass := 0; pass < 3; pass++ {
+		for k := 0; k < 6; k++ {
+			e.Observe(core.Action{User: "fresh", Item: fmt.Sprintf("i%d", k), Type: core.ActionClick, Time: t0})
+		}
+	}
+	recs := e.Recommend("fresh", 4, nil)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	own := 0
+	for _, r := range recs {
+		var idx int
+		fmt.Sscanf(r.Item, "i%d", &idx)
+		if idx < 10 {
+			own++
+		}
+	}
+	if own < 2 {
+		t.Fatalf("only %d/%d recommendations in the user's cluster: %v", own, len(recs), recs)
+	}
+}
+
+func TestMFExcludesInteracted(t *testing.T) {
+	e := NewEngine(Config{Seed: 3})
+	e.Observe(core.Action{User: "u", Item: "a", Type: core.ActionClick, Time: t0})
+	e.Observe(core.Action{User: "u", Item: "b", Type: core.ActionClick, Time: t0})
+	e.AddItem("c")
+	recs := e.Recommend("u", 10, nil)
+	for _, r := range recs {
+		if r.Item == "a" || r.Item == "b" {
+			t.Fatalf("interacted item recommended: %v", recs)
+		}
+	}
+	recs = e.Recommend("u", 10, map[string]bool{"c": true})
+	for _, r := range recs {
+		if r.Item == "c" {
+			t.Fatal("excluded item recommended")
+		}
+	}
+}
+
+func TestMFColdUser(t *testing.T) {
+	e := NewEngine(Config{})
+	e.AddItem("a")
+	if recs := e.Recommend("ghost", 5, nil); recs != nil {
+		t.Fatalf("cold user got %v", recs)
+	}
+	if p := e.Predict("ghost", "a"); p != 0 {
+		t.Fatalf("Predict for unknown user = %v", p)
+	}
+	if p := e.Predict("ghost", "unknown"); p != 0 {
+		t.Fatalf("Predict for unknown item = %v", p)
+	}
+}
+
+func TestMFDeterminism(t *testing.T) {
+	run := func() []core.ScoredItem {
+		e := NewEngine(Config{Seed: 5})
+		e.TrainBatch(blockWorld(5, 20, 20, 2, 20), 2)
+		return e.Recommend("u1", 5, nil)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rec %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMFOnlineAdaptation(t *testing.T) {
+	// After warm training on cluster 0, a burst of interactions with
+	// cluster-1 items must lift the user's cluster-1 scores — the
+	// real-time property that motivates the online variant.
+	e := NewEngine(Config{Seed: 6})
+	e.TrainBatch(blockWorld(6, 40, 40, 4, 30), 3)
+	user := "u0"    // cluster 0
+	target := "i15" // cluster 1
+	before := e.Predict(user, target)
+	for k := 0; k < 20; k++ {
+		e.Observe(core.Action{User: user, Item: fmt.Sprintf("i1%d", k%10), Type: core.ActionClick, Time: t0})
+	}
+	after := e.Predict(user, target)
+	if after <= before {
+		t.Fatalf("online updates did not shift the model: before=%v after=%v", before, after)
+	}
+}
+
+func TestMFUnknownActionIgnored(t *testing.T) {
+	e := NewEngine(Config{})
+	e.Observe(core.Action{User: "u", Item: "a", Type: "teleport", Time: t0})
+	if e.Users() != 0 || e.Items() != 0 {
+		t.Fatal("unknown action type created factors")
+	}
+}

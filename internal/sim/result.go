@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sortSlice sorts s by the typed less function.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// DayMetric is one simulated day's outcome for both arms.
+type DayMetric struct {
+	// Day is 1-based.
+	Day int
+	// CTRReal and CTROrig are the day's click-through rates.
+	CTRReal, CTROrig float64
+	// ImprovementPct is 100 * (CTRReal - CTROrig) / CTROrig.
+	ImprovementPct float64
+	// ReadsReal and ReadsOrig are average clicks per active user
+	// (Fig. 11's "average read count per user").
+	ReadsReal, ReadsOrig float64
+}
+
+// Series is a scenario's full run.
+type Series struct {
+	// Name labels the scenario ("News", "Videos", ...).
+	Name string
+	// Algorithm is the algorithm label of Table 1 ("CB", "CF", "CTR").
+	Algorithm string
+	// Days holds one metric per simulated day.
+	Days []DayMetric
+}
+
+// Improvements returns the daily improvement percentages.
+func (s *Series) Improvements() []float64 {
+	out := make([]float64, len(s.Days))
+	for i, d := range s.Days {
+		out[i] = d.ImprovementPct
+	}
+	return out
+}
+
+// Summary aggregates the run into a Table 1 row.
+func (s *Series) Summary() TableRow {
+	imp := s.Improvements()
+	row := TableRow{Application: s.Name, Algorithm: s.Algorithm}
+	if len(imp) == 0 {
+		return row
+	}
+	row.Min = imp[0]
+	row.Max = imp[0]
+	var sum float64
+	for _, v := range imp {
+		sum += v
+		if v < row.Min {
+			row.Min = v
+		}
+		if v > row.Max {
+			row.Max = v
+		}
+	}
+	row.Avg = sum / float64(len(imp))
+	return row
+}
+
+// TableRow is one row of Table 1: the average, minimum and maximum daily
+// CTR improvement of TencentRec over the original method.
+type TableRow struct {
+	Application   string
+	Algorithm     string
+	Avg, Min, Max float64
+}
+
+// Table1 is the full "Overall Performance Improvement" table.
+type Table1 struct {
+	Rows []TableRow
+}
+
+// String renders the table in the paper's layout.
+func (t Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Overall Performance Improvement\n")
+	fmt.Fprintf(&b, "%-14s %-10s %21s\n", "", "Algorithms", "Performance Improvement (%)")
+	fmt.Fprintf(&b, "%-14s %-10s %8s %8s %8s\n", "Applications", "", "avg", "min", "max")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %-10s %8.2f %8.2f %8.2f\n", r.Application, r.Algorithm, r.Avg, r.Min, r.Max)
+	}
+	return b.String()
+}
+
+// FormatDaily renders a per-day series the way Figures 10/13/14 report
+// it: both arms' CTRs plus the daily improvement percentage.
+func FormatDaily(title string, s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %12s %12s %14s\n", "day", "orig CTR(%)", "tr CTR(%)", "improvement(%)")
+	for _, d := range s.Days {
+		fmt.Fprintf(&b, "%4d %12.3f %12.3f %14.2f\n", d.Day, 100*d.CTROrig, 100*d.CTRReal, d.ImprovementPct)
+	}
+	return b.String()
+}
+
+// FormatReads renders Figure 11's series: average read count per user.
+func FormatReads(title string, s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %14s %14s\n", "day", "orig reads/u", "tr reads/u")
+	for _, d := range s.Days {
+		fmt.Fprintf(&b, "%4d %14.3f %14.3f\n", d.Day, d.ReadsOrig, d.ReadsReal)
+	}
+	return b.String()
+}

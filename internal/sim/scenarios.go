@@ -1,0 +1,638 @@
+package sim
+
+import (
+	"time"
+
+	"tencentrec/internal/cb"
+	"tencentrec/internal/core"
+	"tencentrec/internal/ctr"
+	"tencentrec/internal/workload"
+)
+
+// simStart anchors all simulated time.
+var simStart = time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// visit is one user session arrival. A session consists of several
+// consecutive page views a few minutes apart; the real-time system
+// adapts *between page views of the same session* — the paper's "capture
+// users' instant need with very short delay" — while a periodically
+// refreshed model cannot.
+type visit struct {
+	user  *workload.User
+	t     time.Time
+	drift bool // the user's preferences drift just before this visit
+}
+
+// dayVisits schedules a day's sessions: each user shows up
+// Activity-scaled times, spread over 08:00-23:00, in time order.
+// Drifting users drift at a random session, not at day start.
+func dayVisits(w *workload.World, day int, visitsPerUser, driftProb float64) []visit {
+	rng := w.Rand()
+	dayStart := simStart.AddDate(0, 0, day)
+	var out []visit
+	for _, u := range w.Users {
+		n := int(visitsPerUser*u.Activity + rng.Float64())
+		if n == 0 {
+			continue
+		}
+		driftAt := -1
+		if rng.Float64() < driftProb {
+			driftAt = rng.Intn(n)
+		}
+		for v := 0; v < n; v++ {
+			at := dayStart.Add(8*time.Hour + time.Duration(rng.Float64()*float64(15*time.Hour)))
+			out = append(out, visit{user: u, t: at, drift: v == driftAt})
+		}
+	}
+	sortSlice(out, func(a, b visit) bool {
+		if !a.t.Equal(b.t) {
+			return a.t.Before(b.t)
+		}
+		return a.user.ID < b.user.ID
+	})
+	return out
+}
+
+// armOf splits the population 50/50, as the paper's production A/B does
+// ("each application provides recommendations to some users by their own
+// original methods and the others using the new TencentRec approach").
+func armOf(u *workload.User) int {
+	return int(fnvEnd(u.ID)) % 2
+}
+
+func fnvEnd(s string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// dayTally accumulates one day's outcomes per arm.
+type dayTally struct {
+	impressions [2]int
+	clicks      [2]int
+	active      [2]map[string]bool
+}
+
+func newDayTally() *dayTally {
+	return &dayTally{active: [2]map[string]bool{{}, {}}}
+}
+
+func (d *dayTally) metric(day int) DayMetric {
+	m := DayMetric{Day: day}
+	if d.impressions[0] > 0 {
+		m.CTROrig = float64(d.clicks[0]) / float64(d.impressions[0])
+	}
+	if d.impressions[1] > 0 {
+		m.CTRReal = float64(d.clicks[1]) / float64(d.impressions[1])
+	}
+	if m.CTROrig > 0 {
+		m.ImprovementPct = 100 * (m.CTRReal - m.CTROrig) / m.CTROrig
+	}
+	if n := len(d.active[0]); n > 0 {
+		m.ReadsOrig = float64(d.clicks[0]) / float64(n)
+	}
+	if n := len(d.active[1]); n > 0 {
+		m.ReadsReal = float64(d.clicks[1]) / float64(n)
+	}
+	return m
+}
+
+// NewsConfig parameterizes the Tencent News scenario (§6.3).
+type NewsConfig struct {
+	Seed int64
+	// Warmup days run before recording starts, letting both arms build
+	// their models (production systems are never measured cold).
+	Warmup        int
+	Days          int
+	Users         int
+	VisitsPerUser float64
+	// PageViews is the number of consecutive slates per session.
+	PageViews int
+	SlateSize int
+	// NewItemsPerDay is the news churn; items expire after Lifespan.
+	NewItemsPerDay int
+	Lifespan       time.Duration
+	// DriftProb is the per-user-per-day interest shift probability.
+	DriftProb float64
+	// OriginalRefresh is the semi-real-time model period ("updated once
+	// an hour").
+	OriginalRefresh time.Duration
+}
+
+// DefaultNewsConfig returns the Fig. 10/11 setup.
+func DefaultNewsConfig() NewsConfig {
+	return NewsConfig{
+		Seed: 1, Warmup: 2, Days: 7, Users: 1800, VisitsPerUser: 4,
+		PageViews: 3, SlateSize: 6,
+		NewItemsPerDay: 150, Lifespan: 36 * time.Hour,
+		DriftProb: 0.6, OriginalRefresh: time.Hour,
+	}
+}
+
+// RunNews simulates the news application: content-based recommendation
+// over a churning catalog, TencentRec live vs. the hourly-refreshed
+// original.
+func RunNews(cfg NewsConfig) *Series {
+	w := workload.NewWorld(workload.Config{
+		Seed:              cfg.Seed,
+		Users:             cfg.Users,
+		Items:             0,
+		BaseClickRate:     0.06,
+		FreshnessHalfLife: 8 * time.Hour,
+	})
+	rng := w.Rand()
+
+	cbCfg := cb.Config{HalfLife: 2 * time.Hour, MaxItemAge: cfg.Lifespan}
+	arms := [2]CBArm{
+		NewBatchCB(cbCfg, cfg.OriginalRefresh, w.Users),
+		NewRealtimeCB(cbCfg, w.Users),
+	}
+	addItem := func(it *workload.Item) {
+		for _, a := range arms {
+			a.AddItem(it.ID, it.Terms, it.Published)
+		}
+	}
+	// Seed the catalog with the previous day's news.
+	for i := 0; i < cfg.NewItemsPerDay; i++ {
+		addItem(w.SpawnItem(simStart.Add(-time.Duration(rng.Float64() * float64(24*time.Hour)))))
+	}
+
+	series := &Series{Name: "News", Algorithm: "CB"}
+	seen := make(map[string]map[string]bool) // user -> shown items
+	for day := 0; day < cfg.Warmup+cfg.Days; day++ {
+		tally := newDayTally()
+		visits := dayVisits(w, day, cfg.VisitsPerUser, cfg.DriftProb)
+		// Publish the day's news at a steady rate; expire the old.
+		dayStart := simStart.AddDate(0, 0, day)
+		for i := 0; i < cfg.NewItemsPerDay; i++ {
+			addItem(w.SpawnItem(dayStart.Add(time.Duration(float64(i) / float64(cfg.NewItemsPerDay) * float64(24*time.Hour)))))
+		}
+		cutoff := dayStart.Add(-cfg.Lifespan)
+		for _, it := range w.Items {
+			if !it.Published.IsZero() && it.Published.Before(cutoff) {
+				for _, a := range arms {
+					a.RemoveItem(it.ID)
+				}
+			}
+		}
+		w.ExpireOlderThan(cutoff)
+
+		for _, v := range visits {
+			if v.drift {
+				w.Drift(v.user, 0.85)
+			}
+			tag := armOf(v.user)
+			arm := arms[tag]
+			tally.active[tag][v.user.ID] = true
+			if seen[v.user.ID] == nil {
+				seen[v.user.ID] = make(map[string]bool)
+			}
+			exclude := seen[v.user.ID]
+			// The session opens with an organic front-page read, which
+			// reveals the user's current interest to the data stream.
+			it := w.SampleItemByPrefs(v.user)
+			arm.Observe(core.Action{User: v.user.ID, Item: it.ID, Type: core.ActionRead, Time: v.t})
+
+			for pv := 0; pv < cfg.PageViews; pv++ {
+				now := v.t.Add(time.Duration(pv) * 2 * time.Minute)
+				arm.Maintain(now)
+				slate := arm.Recommend(v.user.ID, now, cfg.SlateSize, exclude)
+				for _, id := range slate {
+					item, ok := w.ByID[id]
+					if !ok {
+						continue // expired between storage and serve
+					}
+					tally.impressions[tag]++
+					exclude[id] = true // an article is shown once
+					if rng.Float64() < w.ClickProb(v.user, item, now) {
+						tally.clicks[tag]++
+						arm.Observe(core.Action{User: v.user.ID, Item: id, Type: core.ActionRead, Time: now})
+					}
+				}
+			}
+		}
+		if day >= cfg.Warmup {
+			series.Days = append(series.Days, tally.metric(day-cfg.Warmup+1))
+		}
+	}
+	return series
+}
+
+// VideoConfig parameterizes the Tencent Videos scenario (item-based CF,
+// Table 1's largest gain).
+type VideoConfig struct {
+	Seed            int64
+	Warmup          int
+	Days            int
+	Users           int
+	Items           int
+	VisitsPerUser   float64
+	PageViews       int
+	SlateSize       int
+	DriftProb       float64
+	OriginalRefresh time.Duration
+}
+
+// DefaultVideoConfig returns the Table 1 videos setup: a stable catalog,
+// binge-style drift, and a daily offline original.
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		Seed: 2, Warmup: 10, Days: 30, Users: 700, Items: 500,
+		VisitsPerUser: 4, PageViews: 4, SlateSize: 6,
+		DriftProb: 0.55, OriginalRefresh: 24 * time.Hour,
+	}
+}
+
+// videoCFConfig is the shared CF configuration: a 7-day sliding window
+// (28 sessions of 6h) keeps similarity lists current for both arms.
+func videoCFConfig() core.Config {
+	return core.Config{
+		TopK: 20, RecentK: 6, LinkedTime: 72 * time.Hour,
+		WindowSessions: 28, SessionDuration: 6 * time.Hour,
+	}
+}
+
+// RunVideo simulates the video application with item-based CF arms.
+func RunVideo(cfg VideoConfig) *Series {
+	w := workload.NewWorld(workload.Config{
+		Seed: cfg.Seed, Users: cfg.Users, Items: cfg.Items,
+		BaseClickRate: 0.06,
+	})
+	rng := w.Rand()
+	arms := [2]CFArm{
+		NewBatchCF(videoCFConfig(), cfg.OriginalRefresh, w.Users),
+		NewRealtimeCF(videoCFConfig(), w.Users),
+	}
+	series := &Series{Name: "Videos", Algorithm: "CF"}
+	// watched applies the repeat-consumption penalty symmetrically: a
+	// video already watched is far less likely to be clicked again,
+	// whichever arm re-recommends it.
+	watched := make(map[string]map[string]bool)
+	for day := 0; day < cfg.Warmup+cfg.Days; day++ {
+		tally := newDayTally()
+		for _, v := range dayVisits(w, day, cfg.VisitsPerUser, cfg.DriftProb) {
+			if v.drift {
+				w.Drift(v.user, 0.7)
+			}
+			tag := armOf(v.user)
+			arm := arms[tag]
+			tally.active[tag][v.user.ID] = true
+			// The session opens with an organic play (search, social
+			// link): the co-occurrence signal CF learns from.
+			it := w.SampleItemByPrefs(v.user)
+			arm.Observe(core.Action{User: v.user.ID, Item: it.ID, Type: core.ActionPlay, Time: v.t})
+			if watched[v.user.ID] == nil {
+				watched[v.user.ID] = make(map[string]bool)
+			}
+			watched[v.user.ID][it.ID] = true
+
+			for pv := 0; pv < cfg.PageViews; pv++ {
+				now := v.t.Add(time.Duration(pv) * 3 * time.Minute)
+				arm.Maintain(now)
+				slate := arm.Recommend(v.user.ID, now, cfg.SlateSize)
+				for _, id := range slate {
+					item, ok := w.ByID[id]
+					if !ok {
+						continue
+					}
+					tally.impressions[tag]++
+					p := w.ClickProb(v.user, item, now)
+					if watched[v.user.ID][id] {
+						p *= 0.2
+					}
+					if rng.Float64() < p {
+						tally.clicks[tag]++
+						watched[v.user.ID][id] = true
+						arm.Observe(core.Action{User: v.user.ID, Item: id, Type: core.ActionPlay, Time: now})
+					}
+				}
+			}
+		}
+		if day >= cfg.Warmup {
+			series.Days = append(series.Days, tally.metric(day-cfg.Warmup+1))
+		}
+	}
+	return series
+}
+
+// EcomPosition selects a YiXun recommendation position (§6.4).
+type EcomPosition int
+
+const (
+	// SimilarPurchase recommends "commodities that are purchased by the
+	// users who have also purchased this commodity" — dense signal.
+	SimilarPurchase EcomPosition = iota
+	// SimilarPrice recommends "commodities with similar price that user
+	// may like" — a sparse candidate pool where real-time interest and
+	// the DB complement matter most.
+	SimilarPrice
+)
+
+// EcomConfig parameterizes the YiXun scenario.
+type EcomConfig struct {
+	Seed            int64
+	Warmup          int
+	Days            int
+	Users           int
+	Items           int
+	VisitsPerUser   float64
+	PageViews       int
+	SlateSize       int
+	DriftProb       float64
+	OriginalRefresh time.Duration
+	Position        EcomPosition
+	// PriceBand is the ± fraction defining "similar price".
+	PriceBand float64
+	// NewItemsPerDay is the catalog churn: new commodities (promotions,
+	// flash sales) enter daily and old ones are delisted after
+	// ItemLifespan. A daily-refreshed model cannot see today's arrivals.
+	NewItemsPerDay int
+	ItemLifespan   time.Duration
+}
+
+// DefaultEcomConfig returns the Fig. 13/14 setup.
+func DefaultEcomConfig(pos EcomPosition) EcomConfig {
+	cfg := EcomConfig{
+		Seed: 3, Warmup: 18, Days: 7, Users: 1600, Items: 600,
+		VisitsPerUser: 4, PageViews: 3, SlateSize: 5,
+		DriftProb: 0.35, OriginalRefresh: 24 * time.Hour,
+		Position: pos, PriceBand: 0.2,
+		NewItemsPerDay: 9, ItemLifespan: 60 * 24 * time.Hour,
+	}
+	return cfg
+}
+
+func ecomCFConfig() core.Config {
+	return core.Config{
+		TopK: 20, RecentK: 6, LinkedTime: 7 * 24 * time.Hour,
+		WindowSessions: 28, SessionDuration: 6 * time.Hour,
+	}
+}
+
+// RunEcommerce simulates one YiXun recommendation position: the user
+// browses a commodity and the position shows related commodities;
+// clicking navigates to the clicked commodity, whose page shows the next
+// slate (a browse session).
+func RunEcommerce(cfg EcomConfig) *Series {
+	w := workload.NewWorld(workload.Config{
+		Seed: cfg.Seed, Users: cfg.Users, Items: 0,
+		BaseClickRate: 0.05, DemographicBias: 0.4,
+		FreshnessHalfLife: 10 * 24 * time.Hour,
+	})
+	rng := w.Rand()
+	// Stagger the initial catalog over the lifespan so churn is smooth.
+	for i := 0; i < cfg.Items; i++ {
+		w.SpawnItem(simStart.Add(-time.Duration(rng.Float64() * float64(cfg.ItemLifespan) * 0.9)))
+	}
+	arms := [2]CFArm{
+		NewBatchCF(ecomCFConfig(), cfg.OriginalRefresh, w.Users),
+		NewRealtimeCF(ecomCFConfig(), w.Users),
+	}
+	name := "YiXun/similar-purchase"
+	if cfg.Position == SimilarPrice {
+		name = "YiXun/similar-price"
+	}
+	series := &Series{Name: name, Algorithm: "CF"}
+	// bought applies the repeat penalty: an already purchased commodity
+	// is unlikely to be clicked again, whichever arm shows it.
+	bought := make(map[string]map[string]bool)
+
+	// priceBandPool returns today's commodities within ±PriceBand of the
+	// context item's price (recomputed as the catalog churns).
+	priceBandPool := func(ctx *workload.Item) map[string]bool {
+		pool := make(map[string]bool)
+		lo, hi := ctx.Price*(1-cfg.PriceBand), ctx.Price*(1+cfg.PriceBand)
+		for _, b := range w.Items {
+			if b.ID != ctx.ID && b.Price >= lo && b.Price <= hi {
+				pool[b.ID] = true
+			}
+		}
+		return pool
+	}
+
+	for day := 0; day < cfg.Warmup+cfg.Days; day++ {
+		// Daily churn: list the new arrivals, delist the expired.
+		dayStart := simStart.AddDate(0, 0, day)
+		for i := 0; i < cfg.NewItemsPerDay; i++ {
+			w.SpawnItem(dayStart.Add(time.Duration(float64(i) / float64(cfg.NewItemsPerDay) * float64(24*time.Hour))))
+		}
+		w.ExpireOlderThan(dayStart.Add(-cfg.ItemLifespan))
+		tally := newDayTally()
+		for _, v := range dayVisits(w, day, cfg.VisitsPerUser, cfg.DriftProb) {
+			if v.drift {
+				w.Drift(v.user, 0.7)
+			}
+			tag := armOf(v.user)
+			arm := arms[tag]
+			tally.active[tag][v.user.ID] = true
+			// The session starts on an organically found commodity page.
+			ctx := w.SampleItemByPrefs(v.user)
+			arm.Observe(core.Action{User: v.user.ID, Item: ctx.ID, Type: core.ActionBrowse, Time: v.t})
+
+			for pv := 0; pv < cfg.PageViews; pv++ {
+				now := v.t.Add(time.Duration(pv) * 2 * time.Minute)
+				arm.Maintain(now)
+				var pool map[string]bool
+				if cfg.Position == SimilarPrice {
+					pool = priceBandPool(ctx)
+				}
+				slate := arm.SimilarTo(ctx.ID, v.user.ID, now, cfg.SlateSize, pool)
+				var clicked *workload.Item
+				for _, id := range slate {
+					item, ok := w.ByID[id]
+					if !ok {
+						continue
+					}
+					tally.impressions[tag]++
+					p := w.ClickProb(v.user, item, now)
+					if bought[v.user.ID][id] {
+						p *= 0.2
+					}
+					if rng.Float64() < p {
+						tally.clicks[tag]++
+						arm.Observe(core.Action{User: v.user.ID, Item: id, Type: core.ActionClick, Time: now})
+						if rng.Float64() < 0.3 {
+							arm.Observe(core.Action{User: v.user.ID, Item: id, Type: core.ActionPurchase, Time: now})
+							if bought[v.user.ID] == nil {
+								bought[v.user.ID] = make(map[string]bool)
+							}
+							bought[v.user.ID][id] = true
+						}
+						if clicked == nil {
+							clicked = item
+						}
+					}
+				}
+				if clicked == nil {
+					break // the user leaves the session
+				}
+				ctx = clicked // navigate to the clicked commodity
+			}
+		}
+		if day >= cfg.Warmup {
+			series.Days = append(series.Days, tally.metric(day-cfg.Warmup+1))
+		}
+	}
+	return series
+}
+
+// AdsConfig parameterizes the QQ advertisement scenario.
+type AdsConfig struct {
+	Seed          int64
+	Warmup        int
+	Days          int
+	Users         int
+	VisitsPerUser float64
+	SlateSize     int
+	// AdLifespan is the ad's active period ("advertisements usually
+	// have very short life cycles").
+	AdLifespan time.Duration
+	// NewAdsPerDay is the churn rate of the ad pool.
+	NewAdsPerDay    int
+	OriginalRefresh time.Duration
+}
+
+// DefaultAdsConfig returns the Table 1 QQ setup.
+func DefaultAdsConfig() AdsConfig {
+	return AdsConfig{
+		Seed: 4, Warmup: 3, Days: 30, Users: 2500, VisitsPerUser: 8, SlateSize: 2,
+		AdLifespan: 24 * time.Hour, NewAdsPerDay: 50,
+		OriginalRefresh: 24 * time.Hour,
+	}
+}
+
+// RunAds simulates QQ advertisement recommendation: situational CTR
+// prediction over a fast-churning ad pool.
+func RunAds(cfg AdsConfig) *Series {
+	w := workload.NewWorld(workload.Config{
+		Seed: cfg.Seed, Users: cfg.Users, Items: 0,
+		BaseClickRate: 0.05, DemographicBias: 0.35,
+	})
+	rng := w.Rand()
+	ctrCfg := ctr.Config{
+		WindowSessions: 48, SessionDuration: time.Hour,
+		Cuboids: []ctr.Cuboid{{}, {ctr.DimGender, ctr.DimAge}},
+	}
+	arms := [2]CTRArm{
+		NewBatchCTR(ctrCfg, cfg.OriginalRefresh),
+		NewRealtimeCTR(ctrCfg),
+	}
+	addAds := func(dayStart time.Time, n int) {
+		for i := 0; i < n; i++ {
+			w.SpawnItem(dayStart.Add(time.Duration(float64(i) / float64(n) * float64(24*time.Hour))))
+		}
+	}
+	addAds(simStart.Add(-12*time.Hour), cfg.NewAdsPerDay/2)
+
+	series := &Series{Name: "QQ", Algorithm: "CTR"}
+	for day := 0; day < cfg.Warmup+cfg.Days; day++ {
+		dayStart := simStart.AddDate(0, 0, day)
+		addAds(dayStart, cfg.NewAdsPerDay)
+		w.ExpireOlderThan(dayStart.Add(-cfg.AdLifespan))
+		pool := make(map[string]bool, len(w.Items))
+		tally := newDayTally()
+		for _, v := range dayVisits(w, day, cfg.VisitsPerUser, 0) {
+			// Refresh the live pool (ads expire during the day).
+			clear(pool)
+			for _, ad := range w.Items {
+				if v.t.Sub(ad.Published) <= cfg.AdLifespan && !ad.Published.After(v.t) {
+					pool[ad.ID] = true
+				}
+			}
+			if len(pool) == 0 {
+				continue
+			}
+			cx := ctr.Context{
+				Region:   v.user.Profile.Region,
+				Gender:   v.user.Profile.Gender,
+				AgeGroup: v.user.Profile.AgeGroup,
+			}
+			tag := armOf(v.user)
+			arm := arms[tag]
+			arm.Maintain(v.t)
+			slate := arm.TopAds(cx, v.t, cfg.SlateSize, pool)
+			// Exploration traffic so new ads gather data in both arms.
+			if len(slate) < cfg.SlateSize || rng.Float64() < 0.15 {
+				// Deterministic pick: a seeded-random live ad.
+				for try := 0; try < 8; try++ {
+					ad := w.Items[rng.Intn(len(w.Items))]
+					if pool[ad.ID] {
+						slate = appendUnique(slate, ad.ID, cfg.SlateSize+1)
+						break
+					}
+				}
+			}
+			tally.active[tag][v.user.ID] = true
+			for _, id := range slate {
+				ad, ok := w.ByID[id]
+				if !ok {
+					continue
+				}
+				tally.impressions[tag]++
+				arm.Impression(id, cx, v.t)
+				if rng.Float64() < w.ClickProb(v.user, ad, v.t) {
+					tally.clicks[tag]++
+					arm.Click(id, cx, v.t)
+				}
+			}
+		}
+		if day >= cfg.Warmup {
+			series.Days = append(series.Days, tally.metric(day-cfg.Warmup+1))
+		}
+	}
+	return series
+}
+
+func appendUnique(s []string, v string, max int) []string {
+	if len(s) >= max {
+		return s
+	}
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// RunTable1 runs all four applications and assembles Table 1.
+// days overrides each scenario's day count (the paper's table covers one
+// month); pass 0 for the defaults (a 30-day month everywhere).
+func RunTable1(days int) Table1 {
+	news := DefaultNewsConfig()
+	video := DefaultVideoConfig()
+	ecomP := DefaultEcomConfig(SimilarPurchase)
+	ecomS := DefaultEcomConfig(SimilarPrice)
+	ads := DefaultAdsConfig()
+	if days > 0 {
+		news.Days, video.Days, ecomP.Days, ecomS.Days, ads.Days = days, days, days, days, days
+	} else {
+		news.Days, ecomP.Days, ecomS.Days = 30, 30, 30
+	}
+	// YiXun's Table 1 row aggregates both positions day by day.
+	sp := RunEcommerce(ecomP)
+	ss := RunEcommerce(ecomS)
+	yixun := &Series{Name: "YiXun", Algorithm: "CF"}
+	for i := range sp.Days {
+		a, b := sp.Days[i], ss.Days[i]
+		m := DayMetric{
+			Day:     a.Day,
+			CTRReal: (a.CTRReal + b.CTRReal) / 2,
+			CTROrig: (a.CTROrig + b.CTROrig) / 2,
+		}
+		if m.CTROrig > 0 {
+			m.ImprovementPct = 100 * (m.CTRReal - m.CTROrig) / m.CTROrig
+		}
+		yixun.Days = append(yixun.Days, m)
+	}
+	return Table1{Rows: []TableRow{
+		RunNews(news).Summary(),
+		RunVideo(video).Summary(),
+		yixun.Summary(),
+		RunAds(ads).Summary(),
+	}}
+}

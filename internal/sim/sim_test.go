@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tencentrec/internal/workload"
+)
+
+// Small, fast configs for CI; the full-scale runs live in cmd/recbench.
+
+func smallNews() NewsConfig {
+	c := DefaultNewsConfig()
+	c.Users, c.Warmup, c.Days = 300, 1, 3
+	return c
+}
+
+func smallVideo() VideoConfig {
+	c := DefaultVideoConfig()
+	c.Users, c.Warmup, c.Days = 300, 4, 3
+	return c
+}
+
+func smallEcom(pos EcomPosition) EcomConfig {
+	c := DefaultEcomConfig(pos)
+	c.Users, c.Warmup, c.Days = 800, 8, 4
+	return c
+}
+
+func smallAds() AdsConfig {
+	c := DefaultAdsConfig()
+	c.Users, c.Warmup, c.Days = 1000, 2, 4
+	return c
+}
+
+// checkSeries asserts structural sanity of a scenario run.
+func checkSeries(t *testing.T, s *Series, days int) {
+	t.Helper()
+	if len(s.Days) != days {
+		t.Fatalf("recorded %d days, want %d", len(s.Days), days)
+	}
+	for _, d := range s.Days {
+		if d.CTRReal <= 0 || d.CTRReal >= 1 || d.CTROrig <= 0 || d.CTROrig >= 1 {
+			t.Fatalf("day %d has degenerate CTRs: %+v", d.Day, d)
+		}
+	}
+}
+
+// overallGain returns the whole-run relative CTR gain of the real-time arm.
+func overallGain(s *Series) float64 {
+	var real, orig float64
+	for _, d := range s.Days {
+		real += d.CTRReal
+		orig += d.CTROrig
+	}
+	return (real - orig) / orig
+}
+
+func TestNewsScenario(t *testing.T) {
+	s := RunNews(smallNews())
+	checkSeries(t, s, 3)
+	if g := overallGain(s); g <= 0 {
+		t.Fatalf("real-time news arm did not win: gain %v", g)
+	}
+	for _, d := range s.Days {
+		if d.ReadsReal <= 0 || d.ReadsOrig <= 0 {
+			t.Fatalf("day %d read counts degenerate: %+v", d.Day, d)
+		}
+	}
+}
+
+func TestVideoScenario(t *testing.T) {
+	s := RunVideo(smallVideo())
+	checkSeries(t, s, 3)
+	if g := overallGain(s); g <= 0 {
+		t.Fatalf("real-time video arm did not win: gain %v", g)
+	}
+}
+
+func TestEcommerceScenarios(t *testing.T) {
+	price := RunEcommerce(smallEcom(SimilarPrice))
+	purchase := RunEcommerce(smallEcom(SimilarPurchase))
+	checkSeries(t, price, 4)
+	checkSeries(t, purchase, 4)
+	if g := overallGain(price); g <= 0 {
+		t.Fatalf("real-time similar-price arm did not win: gain %v", g)
+	}
+	if price.Name == purchase.Name {
+		t.Fatal("position names collide")
+	}
+}
+
+func TestAdsScenario(t *testing.T) {
+	s := RunAds(smallAds())
+	checkSeries(t, s, 4)
+	if g := overallGain(s); g <= 0 {
+		t.Fatalf("real-time CTR arm did not win: gain %v", g)
+	}
+}
+
+func TestScenariosAreDeterministic(t *testing.T) {
+	a := RunNews(smallNews())
+	b := RunNews(smallNews())
+	if len(a.Days) != len(b.Days) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range a.Days {
+		if a.Days[i] != b.Days[i] {
+			t.Fatalf("day %d differs between identical runs:\n%+v\n%+v", i, a.Days[i], b.Days[i])
+		}
+	}
+	v1 := RunVideo(smallVideo())
+	v2 := RunVideo(smallVideo())
+	for i := range v1.Days {
+		if v1.Days[i] != v2.Days[i] {
+			t.Fatalf("video day %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	a := smallNews()
+	b := smallNews()
+	b.Seed = 99
+	ra, rb := RunNews(a), RunNews(b)
+	same := true
+	for i := range ra.Days {
+		if ra.Days[i] != rb.Days[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	s := &Series{Name: "X", Algorithm: "CF", Days: []DayMetric{
+		{Day: 1, ImprovementPct: 5},
+		{Day: 2, ImprovementPct: -1},
+		{Day: 3, ImprovementPct: 8},
+	}}
+	row := s.Summary()
+	if row.Avg != 4 || row.Min != -1 || row.Max != 8 {
+		t.Fatalf("Summary = %+v", row)
+	}
+	empty := (&Series{Name: "E"}).Summary()
+	if empty.Avg != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty Summary = %+v", empty)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table1{Rows: []TableRow{
+		{Application: "News", Algorithm: "CB", Avg: 6.62, Min: 3.22, Max: 14.5},
+	}}
+	out := tbl.String()
+	for _, want := range []string{"News", "CB", "6.62", "3.22", "14.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	s := &Series{Name: "News", Algorithm: "CB", Days: []DayMetric{{Day: 1, CTRReal: 0.1, CTROrig: 0.09, ImprovementPct: 11.1, ReadsReal: 2, ReadsOrig: 1.8}}}
+	daily := FormatDaily("Fig 10", s)
+	if !strings.Contains(daily, "Fig 10") || !strings.Contains(daily, "11.10") {
+		t.Fatalf("FormatDaily output:\n%s", daily)
+	}
+	reads := FormatReads("Fig 11", s)
+	if !strings.Contains(reads, "2.000") || !strings.Contains(reads, "1.800") {
+		t.Fatalf("FormatReads output:\n%s", reads)
+	}
+}
+
+func TestBatchArmRefreshCadence(t *testing.T) {
+	arm := NewBatchCF(videoCFConfig(), 24*time.Hour, nil)
+	t0 := time.Date(2015, 5, 1, 9, 0, 0, 0, time.UTC)
+	arm.Maintain(t0)
+	first := arm.last
+	arm.Maintain(t0.Add(2 * time.Hour)) // too soon
+	if !arm.last.Equal(first) {
+		t.Fatal("batch arm refreshed before the period elapsed")
+	}
+	arm.Maintain(t0.Add(25 * time.Hour))
+	if arm.last.Equal(first) {
+		t.Fatal("batch arm did not refresh after the period")
+	}
+}
+
+func TestArmSplitIsBalanced(t *testing.T) {
+	// armOf must split the generated population roughly in half.
+	w := workload.NewWorld(workload.Config{Seed: 1, Users: 1000})
+	ones := 0
+	for _, u := range w.Users {
+		ones += armOf(u)
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("arm split badly skewed: %d/1000", ones)
+	}
+}
+
+func TestImplicitAblation(t *testing.T) {
+	c := smallVideo()
+	c.Users, c.Warmup, c.Days = 300, 3, 3
+	s := RunImplicitAblation(c)
+	checkSeries(t, s, 3)
+	if g := overallGain(s); g <= 0 {
+		t.Fatalf("practical implicit CF did not beat explicit cosine: gain %v", g)
+	}
+}
+
+func TestColdStartAblation(t *testing.T) {
+	c := smallVideo()
+	c.Users, c.Warmup, c.Days = 300, 2, 3
+	s := RunColdStartAblation(c, 40)
+	if len(s.Days) != 3 {
+		t.Fatalf("recorded %d days", len(s.Days))
+	}
+	// The complemented arm must reach more users with more clicks.
+	var withC, without float64
+	for _, d := range s.Days {
+		withC += d.ReadsReal
+		without += d.ReadsOrig
+	}
+	if withC <= without {
+		t.Fatalf("DB complement did not raise clicks per user: %v vs %v", withC, without)
+	}
+}
+
+func TestFig5Density(t *testing.T) {
+	r := RunFig5(1, 400, 300, 8)
+	if r.Groups < 4 {
+		t.Fatalf("only %d demographic groups", r.Groups)
+	}
+	if r.GroupMeanDensity <= r.GlobalDensity {
+		t.Fatalf("group density %v not greater than global %v (Fig. 5 shape)",
+			r.GroupMeanDensity, r.GlobalDensity)
+	}
+}

@@ -1,0 +1,107 @@
+package stream
+
+// TopologyContext gives a component instance information about where it
+// runs: which task index it is, how many sibling tasks exist, and the
+// topology-level configuration.
+type TopologyContext struct {
+	// Component is the name this component was registered under.
+	Component string
+	// TaskIndex identifies this task among the component's tasks,
+	// in [0, NumTasks).
+	TaskIndex int
+	// NumTasks is the component's parallelism.
+	NumTasks int
+	// Config holds arbitrary topology-level configuration values,
+	// e.g. store endpoints, shared by all components.
+	Config map[string]interface{}
+}
+
+// Collector is how bolts emit tuples downstream.
+// Collectors are safe for use only from the owning task's goroutine,
+// matching Storm's single-threaded executor model.
+type Collector interface {
+	// Emit sends values on the component's default stream.
+	Emit(values Values)
+	// EmitTo sends values on the named stream.
+	EmitTo(stream string, values Values)
+}
+
+// SpoutCollector is how spouts emit tuples into the topology.
+type SpoutCollector interface {
+	Collector
+}
+
+// Spout produces the input streams of a topology (§5.1: "A spout is
+// responsible for producing the input stream for a Storm cluster").
+//
+// Implementations must be created by a factory (see TopologyBuilder) so the
+// supervisor can relaunch a fresh, state-free instance after a failure.
+type Spout interface {
+	// Open prepares the spout instance.
+	Open(ctx TopologyContext, collector SpoutCollector) error
+	// NextTuple emits zero or more tuples via the collector.
+	// Returning false signals that the spout is exhausted; the engine
+	// then drains the topology and shuts down. Production spouts that
+	// never exhaust always return true.
+	NextTuple() bool
+	// Close releases spout resources.
+	Close()
+}
+
+// Bolt consumes input streams and may emit new streams (§5.1: "A bolt may
+// consume any number of input streams and transform those streams in some
+// way").
+//
+// A bolt task is executed by exactly one goroutine, so Execute never runs
+// concurrently with itself on the same instance.
+type Bolt interface {
+	// Prepare initializes the bolt instance.
+	Prepare(ctx TopologyContext, collector Collector) error
+	// Execute processes one input tuple. Tick tuples (t.IsTick())
+	// are delivered on TickStream when the bolt is configured with a
+	// tick interval.
+	Execute(t *Tuple) error
+	// Cleanup releases bolt resources on orderly shutdown.
+	Cleanup()
+}
+
+// OutputDeclarer lists the streams a component emits with their fields.
+// Components implement it so the engine can route by field name.
+type OutputDeclarer interface {
+	// DeclareOutputFields maps each emitted stream id to its field names.
+	// Components that only use the default stream map DefaultStream.
+	DeclareOutputFields() map[string]Fields
+}
+
+// BoltFunc adapts a function to the Bolt interface for simple stateless
+// transforms. The declared output is a single default stream with the
+// given fields.
+type BoltFunc struct {
+	// Fn processes each tuple.
+	Fn func(t *Tuple, c Collector) error
+	// Output names the fields of the default output stream; may be nil
+	// for terminal bolts.
+	Output Fields
+
+	collector Collector
+}
+
+// Prepare implements Bolt.
+func (b *BoltFunc) Prepare(_ TopologyContext, c Collector) error {
+	b.collector = c
+	return nil
+}
+
+// Execute implements Bolt.
+func (b *BoltFunc) Execute(t *Tuple) error { return b.Fn(t, b.collector) }
+
+// Cleanup implements Bolt.
+func (b *BoltFunc) Cleanup() {}
+
+// DeclareOutputFields implements OutputDeclarer.
+func (b *BoltFunc) DeclareOutputFields() map[string]Fields {
+	if b.Output == nil {
+		return nil
+	}
+	return map[string]Fields{DefaultStream: b.Output}
+}

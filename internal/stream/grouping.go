@@ -1,0 +1,62 @@
+package stream
+
+import "math/rand"
+
+// GroupingKind enumerates the stream groupings supported by the engine,
+// mirroring the Storm groupings TencentRec uses ("stream grouping" in §5.2,
+// field grouping in Fig. 7's XML).
+type GroupingKind int
+
+const (
+	// ShuffleGrouping distributes tuples across tasks uniformly at random.
+	ShuffleGrouping GroupingKind = iota
+	// FieldsGrouping routes tuples by the hash of selected fields, so
+	// every tuple with the same key reaches the same task. This is the
+	// guarantee behind the paper's single-writer-per-item-pair claim.
+	FieldsGrouping
+	// GlobalGrouping sends every tuple to task 0.
+	GlobalGrouping
+	// AllGrouping replicates every tuple to all tasks.
+	AllGrouping
+)
+
+// String returns the XML/config name of the grouping.
+func (k GroupingKind) String() string {
+	switch k {
+	case ShuffleGrouping:
+		return "shuffle"
+	case FieldsGrouping:
+		return "field"
+	case GlobalGrouping:
+		return "global"
+	case AllGrouping:
+		return "all"
+	}
+	return "unknown"
+}
+
+// Grouping describes how one subscription routes tuples to a bolt's tasks.
+type Grouping struct {
+	Kind GroupingKind
+	// Fields selects the key fields for FieldsGrouping.
+	Fields Fields
+}
+
+// route returns the destination task indices for a tuple among n tasks.
+// For AllGrouping the returned slice has length n; otherwise length 1.
+// rng is the per-dispatcher random source used by shuffle grouping.
+func (g Grouping) route(t *Tuple, n int, rng *rand.Rand, scratch []int) []int {
+	switch g.Kind {
+	case FieldsGrouping:
+		return append(scratch, int(hashValues(t, g.Fields)%uint64(n)))
+	case GlobalGrouping:
+		return append(scratch, 0)
+	case AllGrouping:
+		for i := 0; i < n; i++ {
+			scratch = append(scratch, i)
+		}
+		return scratch
+	default: // ShuffleGrouping
+		return append(scratch, rng.Intn(n))
+	}
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// componentMetrics holds live counters for one component.
+type componentMetrics struct {
+	Emitted      atomic.Int64
+	Executed     atomic.Int64
+	Errors       atomic.Int64
+	ExecuteNanos atomic.Int64
+}
+
+// Metrics aggregates live counters for a running topology.
+type Metrics struct {
+	Transferred atomic.Int64
+	components  map[string]*componentMetrics
+	started     time.Time
+}
+
+func newMetrics(t *Topology) *Metrics {
+	m := &Metrics{components: make(map[string]*componentMetrics), started: time.Now()}
+	for _, name := range t.Components() {
+		m.components[name] = &componentMetrics{}
+	}
+	return m
+}
+
+func (m *Metrics) component(name string) *componentMetrics { return m.components[name] }
+
+// ComponentStats is a snapshot of one component's counters.
+type ComponentStats struct {
+	// Emitted counts tuples the component emitted on any stream.
+	Emitted int64
+	// Executed counts tuples processed by the component's Execute.
+	Executed int64
+	// Errors counts Execute calls that returned an error.
+	Errors int64
+	// AvgExecute is the mean Execute latency.
+	AvgExecute time.Duration
+}
+
+// MetricsSnapshot is a point-in-time view of topology metrics.
+type MetricsSnapshot struct {
+	// Transferred counts tuple deliveries across all edges
+	// (a tuple replicated to n tasks counts n times).
+	Transferred int64
+	// Uptime is the time since the topology started.
+	Uptime time.Duration
+	// Components maps component name to its stats.
+	Components map[string]ComponentStats
+}
+
+func (m *Metrics) snapshot() *MetricsSnapshot {
+	s := &MetricsSnapshot{
+		Transferred: m.Transferred.Load(),
+		Uptime:      time.Since(m.started),
+		Components:  make(map[string]ComponentStats, len(m.components)),
+	}
+	for name, cm := range m.components {
+		st := ComponentStats{
+			Emitted:  cm.Emitted.Load(),
+			Executed: cm.Executed.Load(),
+			Errors:   cm.Errors.Load(),
+		}
+		if st.Executed > 0 {
+			st.AvgExecute = time.Duration(cm.ExecuteNanos.Load() / st.Executed)
+		}
+		s.Components[name] = st
+	}
+	return s
+}
+
+// String renders the snapshot as a fixed-width table, one component per
+// line, for monitor output (§6.1's "monitor to get an overview").
+func (s *MetricsSnapshot) String() string {
+	names := make([]string, 0, len(s.Components))
+	for n := range s.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime=%v transferred=%d\n", s.Uptime.Round(time.Millisecond), s.Transferred)
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s\n", "component", "emitted", "executed", "errors", "avg-exec")
+	for _, n := range names {
+		c := s.Components[n]
+		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute)
+	}
+	return b.String()
+}

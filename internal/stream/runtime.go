@@ -1,0 +1,462 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Topology is a validated processing graph, ready to run.
+// Build one with TopologyBuilder.
+type Topology struct {
+	// Name identifies the topology, e.g. "cf-test" in the paper's Fig. 7.
+	Name string
+
+	spouts []*spoutDecl
+	bolts  []*boltDecl
+	config map[string]interface{}
+	order  []string // bolt names in topological order
+}
+
+// Components returns the names of all components, spouts first.
+func (t *Topology) Components() []string {
+	names := make([]string, 0, len(t.spouts)+len(t.bolts))
+	for _, s := range t.spouts {
+		names = append(names, s.name)
+	}
+	for _, b := range t.bolts {
+		names = append(names, b.name)
+	}
+	return names
+}
+
+// Parallelism returns the task count of the named component, or 0.
+func (t *Topology) Parallelism(name string) int {
+	for _, s := range t.spouts {
+		if s.name == name {
+			return s.parallelism
+		}
+	}
+	for _, b := range t.bolts {
+		if b.name == name {
+			return b.parallelism
+		}
+	}
+	return 0
+}
+
+// inputQueueDepth bounds each task's input channel. Full channels exert
+// backpressure on upstream emitters, which is how the engine survives the
+// temporal burst events of §5.2 without unbounded memory growth.
+const inputQueueDepth = 1024
+
+type ctrlMsg int
+
+const ctrlRestart ctrlMsg = iota
+
+// edge is one compiled subscription: a (source, stream) pair routed to a
+// destination bolt's tasks under a grouping.
+type edge struct {
+	group Grouping
+	dest  string
+	tasks []*task
+}
+
+type task struct {
+	component string
+	index     int
+	isSpout   bool
+	in        chan *Tuple
+	ctrl      chan ctrlMsg
+	rng       *rand.Rand
+	rt        *runtime
+	restarts  atomic.Int64
+}
+
+// runtime is a single execution of a topology.
+type runtime struct {
+	topo    *Topology
+	tasks   map[string][]*task
+	edges   map[string]map[string][]*edge // source -> stream -> edges
+	fields  map[string]map[string]Fields  // source -> stream -> field names
+	pending atomic.Int64
+	metrics *Metrics
+	onError func(component string, err error)
+
+	spoutStop  chan struct{} // closed to ask spouts to stop early
+	tickerStop chan struct{}
+	tickerWG   sync.WaitGroup
+	taskWG     sync.WaitGroup
+	spoutWG    sync.WaitGroup
+}
+
+// collector routes a task's emissions to downstream tasks.
+type collector struct {
+	task     *task
+	rt       *runtime
+	routeBuf []int
+}
+
+// Emit implements Collector.
+func (c *collector) Emit(values Values) { c.EmitTo(DefaultStream, values) }
+
+// EmitTo implements Collector.
+func (c *collector) EmitTo(stream string, values Values) {
+	rt := c.rt
+	fields := rt.fields[c.task.component][stream]
+	t := &Tuple{Component: c.task.component, Stream: stream, Values: values, fields: fields}
+	rt.metrics.component(c.task.component).Emitted.Add(1)
+	edges := rt.edges[c.task.component][stream]
+	for _, e := range edges {
+		c.routeBuf = c.routeBuf[:0]
+		c.routeBuf = e.group.route(t, len(e.tasks), c.task.rng, c.routeBuf)
+		for _, i := range c.routeBuf {
+			rt.pending.Add(1)
+			rt.metrics.Transferred.Add(1)
+			e.tasks[i].in <- t
+		}
+	}
+}
+
+func newRuntime(t *Topology, onError func(string, error)) *runtime {
+	if onError == nil {
+		onError = func(string, error) {}
+	}
+	rt := &runtime{
+		topo:       t,
+		tasks:      make(map[string][]*task),
+		edges:      make(map[string]map[string][]*edge),
+		fields:     make(map[string]map[string]Fields),
+		metrics:    newMetrics(t),
+		onError:    onError,
+		spoutStop:  make(chan struct{}),
+		tickerStop: make(chan struct{}),
+	}
+	seed := int64(1)
+	mkTasks := func(name string, n int, isSpout bool) {
+		ts := make([]*task, n)
+		for i := range ts {
+			ts[i] = &task{
+				component: name,
+				index:     i,
+				isSpout:   isSpout,
+				in:        make(chan *Tuple, inputQueueDepth),
+				ctrl:      make(chan ctrlMsg, 4),
+				rng:       rand.New(rand.NewSource(seed)),
+				rt:        rt,
+			}
+			seed++
+		}
+		rt.tasks[name] = ts
+	}
+	for _, s := range t.spouts {
+		mkTasks(s.name, s.parallelism, true)
+		rt.fields[s.name] = s.outputs
+	}
+	for _, b := range t.bolts {
+		mkTasks(b.name, b.parallelism, false)
+		rt.fields[b.name] = b.outputs
+	}
+	for _, b := range t.bolts {
+		for _, in := range b.inputs {
+			m := rt.edges[in.source]
+			if m == nil {
+				m = make(map[string][]*edge)
+				rt.edges[in.source] = m
+			}
+			m[in.stream] = append(m[in.stream], &edge{
+				group: in.group,
+				dest:  b.name,
+				tasks: rt.tasks[b.name],
+			})
+		}
+	}
+	return rt
+}
+
+func (rt *runtime) ctx(name string, index, n int) TopologyContext {
+	return TopologyContext{
+		Component: name,
+		TaskIndex: index,
+		NumTasks:  n,
+		Config:    rt.topo.config,
+	}
+}
+
+// runSpoutTask drives one spout instance until exhaustion or stop.
+func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
+	defer rt.spoutWG.Done()
+	col := &collector{task: tk, rt: rt}
+	sp := decl.factory()
+	if err := sp.Open(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+		rt.onError(decl.name, fmt.Errorf("open: %w", err))
+		return
+	}
+	defer func() { sp.Close() }()
+	for {
+		select {
+		case <-rt.spoutStop:
+			return
+		case m := <-tk.ctrl:
+			if m == ctrlRestart {
+				sp.Close()
+				sp = decl.factory()
+				tk.restarts.Add(1)
+				if err := sp.Open(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+					rt.onError(decl.name, fmt.Errorf("reopen: %w", err))
+					return
+				}
+			}
+		default:
+			if !sp.NextTuple() {
+				return
+			}
+		}
+	}
+}
+
+// runBoltTask drives one bolt instance until its input channel closes.
+func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
+	defer rt.taskWG.Done()
+	col := &collector{task: tk, rt: rt}
+	cm := rt.metrics.component(decl.name)
+	b := decl.factory()
+	if err := b.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+		rt.onError(decl.name, fmt.Errorf("prepare: %w", err))
+		// Keep draining so upstream does not block forever.
+		for range tk.in {
+			rt.pending.Add(-1)
+		}
+		return
+	}
+	defer func() { b.Cleanup() }()
+	for {
+		select {
+		case m := <-tk.ctrl:
+			if m == ctrlRestart {
+				// Simulated worker crash: the instance and all its
+				// in-memory state are discarded; a fresh stateless
+				// instance resumes from the same queue (§3.1, §3.3).
+				b.Cleanup()
+				b = decl.factory()
+				tk.restarts.Add(1)
+				if err := b.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+					rt.onError(decl.name, fmt.Errorf("re-prepare: %w", err))
+					for range tk.in {
+						rt.pending.Add(-1)
+					}
+					return
+				}
+			}
+		case tup, ok := <-tk.in:
+			if !ok {
+				return
+			}
+			start := time.Now()
+			if err := b.Execute(tup); err != nil {
+				cm.Errors.Add(1)
+				rt.onError(decl.name, err)
+			}
+			cm.Executed.Add(1)
+			cm.ExecuteNanos.Add(time.Since(start).Nanoseconds())
+			rt.pending.Add(-1)
+		}
+	}
+}
+
+// runTicker delivers tick tuples to every task of a bolt at its interval.
+func (rt *runtime) runTicker(decl *boltDecl) {
+	defer rt.tickerWG.Done()
+	tick := &Tuple{Component: decl.name, Stream: TickStream}
+	tm := time.NewTicker(decl.tick)
+	defer tm.Stop()
+	for {
+		select {
+		case <-rt.tickerStop:
+			return
+		case <-tm.C:
+			for _, tk := range rt.tasks[decl.name] {
+				rt.pending.Add(1)
+				select {
+				case tk.in <- tick:
+				default:
+					// Queue full: the task is saturated with real
+					// tuples; skip this tick rather than block.
+					rt.pending.Add(-1)
+				}
+			}
+		}
+	}
+}
+
+// flushTicks sends one final tick to each ticked bolt in topological order
+// and waits for quiescence after each component, so that combiner bolts
+// flush buffered aggregates downstream before shutdown.
+func (rt *runtime) flushTicks() {
+	byName := make(map[string]*boltDecl, len(rt.topo.bolts))
+	for _, b := range rt.topo.bolts {
+		byName[b.name] = b
+	}
+	for _, name := range rt.topo.order {
+		decl := byName[name]
+		if decl.tick <= 0 {
+			continue
+		}
+		tick := &Tuple{Component: name, Stream: TickStream, Values: Values{"final"}}
+		for _, tk := range rt.tasks[name] {
+			rt.pending.Add(1)
+			tk.in <- tick
+		}
+		rt.waitQuiescent()
+	}
+}
+
+// waitQuiescent blocks until no tuples are queued or executing.
+func (rt *runtime) waitQuiescent() {
+	for rt.pending.Load() != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Run executes the topology until every spout reports exhaustion and all
+// in-flight tuples have drained, then flushes tick-driven bolts and shuts
+// down. Cancelling ctx stops the spouts early; the drain and flush still
+// run so results are complete with respect to consumed input.
+//
+// Run returns the final metrics snapshot.
+func (t *Topology) Run(ctx context.Context) (*MetricsSnapshot, error) {
+	rt := newRuntime(t, nil)
+	return rt.run(ctx)
+}
+
+// RunWithErrorHandler is Run with a callback invoked on component errors.
+func (t *Topology) RunWithErrorHandler(ctx context.Context, onError func(component string, err error)) (*MetricsSnapshot, error) {
+	rt := newRuntime(t, onError)
+	return rt.run(ctx)
+}
+
+func (rt *runtime) run(ctx context.Context) (*MetricsSnapshot, error) {
+	st := rt.start(ctx)
+	st.Wait()
+	return st.Metrics(), nil
+}
+
+// start launches all tasks and returns a handle for supervision.
+func (rt *runtime) start(ctx context.Context) *RunningTopology {
+	t := rt.topo
+	for _, b := range t.bolts {
+		for _, tk := range rt.tasks[b.name] {
+			rt.taskWG.Add(1)
+			go rt.runBoltTask(b, tk)
+		}
+		if b.tick > 0 {
+			rt.tickerWG.Add(1)
+			go rt.runTicker(b)
+		}
+	}
+	for _, s := range t.spouts {
+		for _, tk := range rt.tasks[s.name] {
+			rt.spoutWG.Add(1)
+			go rt.runSpoutTask(s, tk)
+		}
+	}
+	h := &RunningTopology{rt: rt, done: make(chan struct{})}
+	go func() {
+		if ctx != nil {
+			go func() {
+				select {
+				case <-ctx.Done():
+					h.Stop()
+				case <-h.done:
+				}
+			}()
+		}
+		rt.spoutWG.Wait()    // all spouts exhausted or stopped
+		rt.waitQuiescent()   // all regular tuples drained
+		close(rt.tickerStop) // no more interval ticks
+		rt.tickerWG.Wait()
+		rt.waitQuiescent()
+		rt.flushTicks() // cascade final combiner flushes
+		for _, name := range t.Components() {
+			if !rt.tasks[name][0].isSpout {
+				for _, tk := range rt.tasks[name] {
+					close(tk.in)
+				}
+			}
+		}
+		rt.taskWG.Wait()
+		close(h.done)
+	}()
+	return h
+}
+
+// RunningTopology is a handle to an executing topology: it supports
+// waiting for completion, early stop, and supervisor-style fault
+// injection (task restarts).
+type RunningTopology struct {
+	rt       *runtime
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Wait blocks until the topology has fully shut down.
+func (h *RunningTopology) Wait() { <-h.done }
+
+// Done returns a channel closed when the topology has shut down.
+func (h *RunningTopology) Done() <-chan struct{} { return h.done }
+
+// Stop asks the spouts to stop; processing drains and flushes as in a
+// normal completion.
+func (h *RunningTopology) Stop() {
+	h.stopOnce.Do(func() { close(h.rt.spoutStop) })
+}
+
+// RestartTask simulates a worker crash-and-restart of one task of the
+// named component: the current instance is discarded with all in-memory
+// state and a fresh instance from the factory takes over the same queue.
+// This reproduces the paper's fail-fast, state-free worker model (§3.1).
+func (h *RunningTopology) RestartTask(component string, index int) error {
+	tasks, ok := h.rt.tasks[component]
+	if !ok {
+		return fmt.Errorf("stream: unknown component %q", component)
+	}
+	if index < 0 || index >= len(tasks) {
+		return fmt.Errorf("stream: component %q has no task %d", component, index)
+	}
+	select {
+	case tasks[index].ctrl <- ctrlRestart:
+		return nil
+	case <-h.done:
+		return fmt.Errorf("stream: topology already shut down")
+	}
+}
+
+// Restarts reports how many times the given task has been restarted.
+func (h *RunningTopology) Restarts(component string, index int) int64 {
+	tasks, ok := h.rt.tasks[component]
+	if !ok || index < 0 || index >= len(tasks) {
+		return 0
+	}
+	return tasks[index].restarts.Load()
+}
+
+// Metrics returns a point-in-time snapshot of the topology metrics.
+func (h *RunningTopology) Metrics() *MetricsSnapshot { return h.rt.metrics.snapshot() }
+
+// Submit starts the topology without blocking and returns its handle.
+// It is the engine's equivalent of submitting a topology to a Storm
+// cluster; the topology "will process messages forever unless it is
+// killed" (§5.1) — here, until Stop is called or the spouts exhaust.
+func (t *Topology) Submit() *RunningTopology {
+	rt := newRuntime(t, nil)
+	return rt.start(nil)
+}
+
+// SubmitWithErrorHandler is Submit with an error callback.
+func (t *Topology) SubmitWithErrorHandler(onError func(string, error)) *RunningTopology {
+	rt := newRuntime(t, onError)
+	return rt.start(nil)
+}

@@ -1,0 +1,115 @@
+// Package stream implements a lightweight in-process distributed stream
+// processing engine modelled on Apache Storm, which the TencentRec paper
+// uses as its computation substrate (SIGMOD'15, §3.1 and §5.1).
+//
+// The engine reproduces the Storm semantics the paper's algorithms rely on:
+//
+//   - unbounded streams of field-named tuples produced by spouts and
+//     transformed by bolts;
+//   - stream groupings, in particular fields grouping, which guarantees
+//     that all tuples sharing a key are processed by the same task —
+//     the paper's "only a single worker node should operate over a
+//     specific item pair at some point" (§4.1.3);
+//   - per-component parallelism with independent tasks;
+//   - stateless, restartable workers supervised by a cluster manager
+//     (Nimbus/Supervisor in Storm, Supervisor here), so that all durable
+//     state lives in an external store (TDStore) and a crashed task can
+//     be relaunched "like nothing happened" (§3.1);
+//   - tick tuples delivered at fixed intervals, which drive the combiner
+//     flushes of §5.3.
+//
+// Workers are goroutines rather than processes, and routing is by channel
+// rather than by network, but the visible semantics — partitioning,
+// ordering per key, at-most-one-writer per key, restartability — match.
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Values is the payload of a tuple: an ordered list of field values.
+type Values []interface{}
+
+// Fields names the positions of a tuple's values, in order.
+type Fields []string
+
+// index returns the position of the named field, or -1.
+func (f Fields) index(name string) int {
+	for i, n := range f {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultStream is the stream id used when a component does not name one.
+const DefaultStream = "default"
+
+// TickStream is the reserved stream id on which the engine delivers tick
+// tuples to bolts configured with a tick interval.
+const TickStream = "__tick"
+
+// Tuple is a single unit of data flowing through a topology.
+type Tuple struct {
+	// Component is the name of the component that emitted the tuple.
+	Component string
+	// Stream is the id of the stream the tuple was emitted on.
+	Stream string
+	// Values holds the tuple payload.
+	Values Values
+
+	fields Fields
+}
+
+// IsTick reports whether the tuple is an engine-generated tick tuple.
+func (t *Tuple) IsTick() bool { return t.Stream == TickStream }
+
+// IsFinalTick reports whether the tuple is the final flush tick the
+// engine delivers during orderly shutdown, after all regular tuples have
+// drained. Bolts that publish derived values may use it to recompute
+// everything against fully-settled inputs.
+func (t *Tuple) IsFinalTick() bool {
+	return t.Stream == TickStream && len(t.Values) == 1 && t.Values[0] == "final"
+}
+
+// Value returns the value of the named field.
+// It panics if the field does not exist; use TryValue to probe.
+func (t *Tuple) Value(field string) interface{} {
+	v, ok := t.TryValue(field)
+	if !ok {
+		panic(fmt.Sprintf("stream: tuple from %s/%s has no field %q (fields %v)",
+			t.Component, t.Stream, field, t.fields))
+	}
+	return v
+}
+
+// TryValue returns the value of the named field and whether it exists.
+func (t *Tuple) TryValue(field string) (interface{}, bool) {
+	i := t.fields.index(field)
+	if i < 0 || i >= len(t.Values) {
+		return nil, false
+	}
+	return t.Values[i], true
+}
+
+// String returns the value of the named field as a string.
+func (t *Tuple) String2(field string) string { s, _ := t.Value(field).(string); return s }
+
+// Fields returns the field names of the tuple.
+func (t *Tuple) Fields() Fields { return t.fields }
+
+// hashValues computes a stable hash over the selected grouping fields,
+// used by fields grouping to pick a destination task.
+func hashValues(t *Tuple, fields Fields) uint64 {
+	h := fnv.New64a()
+	for _, f := range fields {
+		v, ok := t.TryValue(f)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "%v\x00", v)
+	}
+	return h.Sum64()
+}

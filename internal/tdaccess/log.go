@@ -1,0 +1,316 @@
+// Package tdaccess implements the Tencent Data Access analog of the paper
+// (§3.2): a publish/subscribe layer that decouples data sources (the
+// production applications) from the data processing systems.
+//
+// Producers publish messages to topics; topics are divided into
+// partitions spread across data servers "to achieve better parallelism";
+// consumers subscribe and read partitions in parallel. Unlike a
+// traditional message queue, TDAccess "caches the data in disk" so that
+// late-joining or offline consumers can replay history, and it "utilizes
+// sequential operations to accelerate the speed of reads and writes":
+// every partition is a segmented append-only log on disk. An active
+// master server (with a standby) assigns partitions to data servers and
+// balances producers and consumers at partition granularity.
+package tdaccess
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrOffsetOutOfRange is returned when reading an offset that has not
+// been written yet.
+var ErrOffsetOutOfRange = errors.New("tdaccess: offset out of range")
+
+// defaultSegmentBytes rotates a partition's active segment once it grows
+// past this size, keeping individual files bounded.
+const defaultSegmentBytes = 4 << 20
+
+// segment is one append-only file of a partition log.
+type segment struct {
+	base  int64 // offset of the first message in this segment
+	path  string
+	f     *os.File
+	size  int64
+	index []int64 // byte position of each message, relative to file start
+}
+
+// plog is a partition's segmented on-disk log. All appends are sequential;
+// reads use the resident per-segment index.
+type plog struct {
+	mu          sync.RWMutex
+	dir         string
+	segments    []*segment // ascending base offset; last is active
+	appendFile  *os.File
+	w           *bufio.Writer
+	nextOffset  int64
+	segmentSize int64
+}
+
+// openLog opens (creating if necessary) a partition log in dir and
+// recovers its segments.
+func openLog(dir string, segmentBytes int64) (*plog, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tdaccess: create log dir: %w", err)
+	}
+	l := &plog{dir: dir, segmentSize: segmentBytes}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("tdaccess: list segments: %w", err)
+	}
+	type baseName struct {
+		base int64
+		name string
+	}
+	var bns []baseName
+	for _, n := range names {
+		s := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(n), "seg-"), ".log")
+		base, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			continue
+		}
+		bns = append(bns, baseName{base, n})
+	}
+	sort.Slice(bns, func(i, j int) bool { return bns[i].base < bns[j].base })
+	for _, bn := range bns {
+		seg, err := recoverSegment(bn.base, bn.name)
+		if err != nil {
+			return nil, err
+		}
+		l.segments = append(l.segments, seg)
+		l.nextOffset = seg.base + int64(len(seg.index))
+	}
+	if len(l.segments) == 0 {
+		if err := l.rotateLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Reopen the last segment for append.
+		last := l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return nil, fmt.Errorf("tdaccess: reopen segment: %w", err)
+		}
+		// Truncate any torn tail so appends resume at a clean boundary.
+		if err := f.Truncate(last.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tdaccess: truncate torn tail: %w", err)
+		}
+		last.f.Close()
+		rf, err := os.Open(last.path)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tdaccess: reopen segment for read: %w", err)
+		}
+		last.f = rf
+		l.appendFile = f
+		l.w = bufio.NewWriter(f)
+	}
+	return l, nil
+}
+
+func recoverSegment(base int64, path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tdaccess: open segment: %w", err)
+	}
+	seg := &segment{base: base, path: path, f: f}
+	r := bufio.NewReader(f)
+	var pos int64
+	for {
+		n, err := skipRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail from a crash: keep what was fully written.
+			break
+		}
+		seg.index = append(seg.index, pos)
+		pos += int64(n)
+	}
+	seg.size = pos
+	return seg, nil
+}
+
+// skipRecord advances past one record, validating its frame, and returns
+// its encoded size.
+func skipRecord(r *bufio.Reader) (int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, io.EOF
+		}
+		return 0, err
+	}
+	want := binary.LittleEndian.Uint32(hdr[0:4])
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > maxMessage {
+		return 0, fmt.Errorf("tdaccess: record size %d exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, err
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, fmt.Errorf("tdaccess: crc mismatch")
+	}
+	return 8 + int(size), nil
+}
+
+// maxMessage bounds a single encoded message.
+const maxMessage = 64 << 20
+
+// rotateLocked starts a new active segment. Caller holds l.mu.
+func (l *plog) rotateLocked() error {
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("tdaccess: flush before rotate: %w", err)
+		}
+		l.appendFile.Close()
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("seg-%012d.log", l.nextOffset))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tdaccess: create segment: %w", err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("tdaccess: open segment for read: %w", err)
+	}
+	l.segments = append(l.segments, &segment{base: l.nextOffset, path: path, f: rf})
+	l.appendFile = f
+	l.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Append writes one encoded record and returns its message offset.
+// Frame: crc32(body) | len(body) | body.
+func (l *plog) Append(body []byte) (int64, error) {
+	if len(body) > maxMessage {
+		return 0, fmt.Errorf("tdaccess: message of %d bytes exceeds limit", len(body))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seg := l.segments[len(l.segments)-1]
+	if seg.size >= l.segmentSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+		seg = l.segments[len(l.segments)-1]
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("tdaccess: append header: %w", err)
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return 0, fmt.Errorf("tdaccess: append body: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("tdaccess: append flush: %w", err)
+	}
+	off := l.nextOffset
+	seg.index = append(seg.index, seg.size)
+	seg.size += int64(8 + len(body))
+	l.nextOffset++
+	return off, nil
+}
+
+// Read returns the record at the given message offset.
+func (l *plog) Read(offset int64) ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if offset < 0 || offset >= l.nextOffset {
+		return nil, ErrOffsetOutOfRange
+	}
+	// Find the owning segment (last one with base <= offset).
+	i := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].base > offset }) - 1
+	seg := l.segments[i]
+	rel := int(offset - seg.base)
+	pos := seg.index[rel]
+	var hdr [8]byte
+	if _, err := seg.f.ReadAt(hdr[:], pos); err != nil {
+		return nil, fmt.Errorf("tdaccess: read header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	body := make([]byte, size)
+	if _, err := seg.f.ReadAt(body, pos+8); err != nil {
+		return nil, fmt.Errorf("tdaccess: read body: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[0:4]) {
+		return nil, fmt.Errorf("tdaccess: crc mismatch at offset %d", offset)
+	}
+	return body, nil
+}
+
+// ReadFrom returns up to max records starting at offset.
+func (l *plog) ReadFrom(offset int64, max int) ([][]byte, error) {
+	l.mu.RLock()
+	next := l.nextOffset
+	l.mu.RUnlock()
+	if offset >= next {
+		return nil, nil
+	}
+	var out [][]byte
+	for o := offset; o < next && len(out) < max; o++ {
+		b, err := l.Read(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// NextOffset returns the offset the next append will receive.
+func (l *plog) NextOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextOffset
+}
+
+// SegmentCount returns the number of on-disk segments.
+func (l *plog) SegmentCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.segments)
+}
+
+// Close flushes and closes all files.
+func (l *plog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var first error
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			first = err
+		}
+		if err := l.appendFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range l.segments {
+		if err := s.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.segments = nil
+	l.w = nil
+	return first
+}

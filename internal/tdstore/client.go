@@ -1,0 +1,204 @@
+package tdstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"tencentrec/internal/tdstore/engine"
+)
+
+// clientRetries bounds route-refresh retries before an operation fails.
+const clientRetries = 3
+
+// Client provides keyed access to a TDStore cluster. It caches the route
+// table and communicates "directly with the data servers located by the
+// route table" (§3.3), refreshing the cache when a server fails or a
+// stale route is detected. A Client is safe for concurrent use.
+type Client struct {
+	c *Cluster
+
+	mu    sync.RWMutex
+	route *RouteTable
+}
+
+// NewClient returns a client with a freshly fetched route table.
+func (c *Cluster) NewClient() (*Client, error) {
+	rt, err := c.RouteTable()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, route: rt}, nil
+}
+
+func (cl *Client) cachedRoute() *RouteTable {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.route
+}
+
+func (cl *Client) refreshRoute() error {
+	rt, err := cl.c.RouteTable()
+	if err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	if rt.Version > cl.route.Version {
+		cl.route = rt
+	}
+	cl.mu.Unlock()
+	return nil
+}
+
+// hostFor resolves the current host server of key's instance.
+func (cl *Client) hostFor(key string) (*DataServer, InstanceID, error) {
+	rt := cl.cachedRoute()
+	inst := rt.InstanceFor(key)
+	ds, ok := cl.c.server(rt.Hosts[inst])
+	if !ok {
+		return nil, inst, fmt.Errorf("tdstore: route names unknown server %q", rt.Hosts[inst])
+	}
+	return ds, inst, nil
+}
+
+// retryable reports whether err warrants a route refresh and retry.
+func retryable(err error) bool {
+	return err == ErrServerDown || err == ErrNotHost
+}
+
+// Get returns the value stored under key.
+func (cl *Client) Get(key string) ([]byte, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		ds, inst, err := cl.hostFor(key)
+		if err != nil {
+			return nil, false, err
+		}
+		v, ok, err := ds.hostGet(inst, key)
+		if err == nil {
+			return v, ok, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, false, err
+		}
+		if err := cl.refreshRoute(); err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, fmt.Errorf("tdstore: get %q: retries exhausted: %w", key, lastErr)
+}
+
+// Put stores value under key and replicates to the instance's slaves.
+func (cl *Client) Put(key string, value []byte) error {
+	cp := append([]byte(nil), value...)
+	return cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
+		if err := eng.Put(key, cp); err != nil {
+			return nil, err
+		}
+		return []syncOp{{kind: opPut, instance: inst, key: key, value: cp}}, nil
+	})
+}
+
+// Delete removes key.
+func (cl *Client) Delete(key string) error {
+	return cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
+		if err := eng.Delete(key); err != nil {
+			return nil, err
+		}
+		return []syncOp{{kind: opDelete, instance: inst, key: key}}, nil
+	})
+}
+
+// mutate runs fn on the host engine of key's instance with retry.
+func (cl *Client) mutate(key string, fn func(eng engine.Engine, inst InstanceID) ([]syncOp, error)) error {
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		ds, inst, err := cl.hostFor(key)
+		if err != nil {
+			return err
+		}
+		err = ds.hostMutate(inst, func(eng engine.Engine) ([]syncOp, error) {
+			return fn(eng, inst)
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if err := cl.refreshRoute(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("tdstore: mutate %q: retries exhausted: %w", key, lastErr)
+}
+
+// IncrFloat atomically adds delta to the float64 counter at key and
+// returns the new value. Missing keys start at zero. This is the
+// primitive behind itemCount/pairCount accumulation.
+func (cl *Client) IncrFloat(key string, delta float64) (float64, error) {
+	var out float64
+	err := cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
+		cur, ok, err := eng.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		v := 0.0
+		if ok {
+			v, err = DecodeFloat(cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		v += delta
+		out = v
+		enc := EncodeFloat(v)
+		if err := eng.Put(key, enc); err != nil {
+			return nil, err
+		}
+		return []syncOp{{kind: opPut, instance: inst, key: key, value: enc}}, nil
+	})
+	return out, err
+}
+
+// GetFloat reads the float64 counter at key; absent keys read as zero.
+func (cl *Client) GetFloat(key string) (float64, error) {
+	v, ok, err := cl.Get(key)
+	if err != nil || !ok {
+		return 0, err
+	}
+	return DecodeFloat(v)
+}
+
+// MGet returns the values for keys; absent keys yield nil entries.
+func (cl *Client) MGet(keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, ok, err := cl.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// EncodeFloat encodes a float64 counter value.
+func EncodeFloat(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+// DecodeFloat decodes a counter encoded by EncodeFloat.
+func DecodeFloat(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("tdstore: counter value has %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}

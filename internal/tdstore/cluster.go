@@ -1,0 +1,329 @@
+package tdstore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tencentrec/internal/tdstore/engine"
+)
+
+func syncYield() { runtime.Gosched() }
+
+// Options configure a TDStore cluster.
+type Options struct {
+	// DataServers is the number of data servers. Default 4.
+	DataServers int
+	// Instances is the number of data instances (key-space shards).
+	// Default 16.
+	Instances int
+	// Replicas is the number of slave copies per instance ("each data
+	// instance has multiple backups", §3.3). Default 1. Capped at
+	// DataServers-1.
+	Replicas int
+	// Engine constructs the storage engine for each data instance.
+	// Default: engine.NewMemory (the MDB engine).
+	Engine func(serverID string, instance InstanceID) (engine.Engine, error)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.DataServers <= 0 {
+		out.DataServers = 4
+	}
+	if out.Instances <= 0 {
+		out.Instances = 16
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 1
+	}
+	if out.Replicas > out.DataServers-1 {
+		out.Replicas = out.DataServers - 1
+	}
+	if out.Engine == nil {
+		out.Engine = func(string, InstanceID) (engine.Engine, error) { return engine.NewMemory(), nil }
+	}
+	return out
+}
+
+// configServer is one of the two config servers (§3.3: "a host config
+// server and a backup config server") managing the route table.
+type configServer struct {
+	id   string
+	down bool
+}
+
+// Cluster is a TDStore deployment: config servers, data servers and the
+// route table. Use NewCluster to build one and NewClient for access.
+type Cluster struct {
+	opts Options
+
+	mu      sync.Mutex
+	servers []*DataServer
+	byID    map[string]*DataServer
+	route   *RouteTable
+	configs [2]*configServer // [0] starts as host
+	// routeQueries counts route-table fetches, exercised by tests of the
+	// "query the host config server to get the route table" flow.
+	routeQueries int64
+	closed       bool
+}
+
+// NewCluster builds a cluster, creates every data instance on its host
+// and slave servers, and publishes route table version 1.
+func NewCluster(opts Options) (*Cluster, error) {
+	o := opts.withDefaults()
+	c := &Cluster{
+		opts: o,
+		byID: make(map[string]*DataServer),
+		configs: [2]*configServer{
+			{id: "config-host"},
+			{id: "config-backup"},
+		},
+	}
+	for i := 0; i < o.DataServers; i++ {
+		ds := newDataServer(fmt.Sprintf("ds-%d", i))
+		c.servers = append(c.servers, ds)
+		c.byID[ds.ID] = ds
+	}
+	rt := &RouteTable{
+		Version:      1,
+		NumInstances: o.Instances,
+		Hosts:        make([]string, o.Instances),
+		Slaves:       make([][]string, o.Instances),
+	}
+	for inst := 0; inst < o.Instances; inst++ {
+		host := c.servers[inst%len(c.servers)]
+		rt.Hosts[inst] = host.ID
+		var slaveIDs []string
+		var slaves []*DataServer
+		for r := 1; r <= o.Replicas; r++ {
+			s := c.servers[(inst+r)%len(c.servers)]
+			slaveIDs = append(slaveIDs, s.ID)
+			slaves = append(slaves, s)
+		}
+		rt.Slaves[inst] = slaveIDs
+		// Materialize the instance on host and slaves.
+		for _, ds := range append([]*DataServer{host}, slaves...) {
+			eng, err := o.Engine(ds.ID, InstanceID(inst))
+			if err != nil {
+				return nil, fmt.Errorf("tdstore: create engine: %w", err)
+			}
+			ds.mu.Lock()
+			ds.instances[InstanceID(inst)] = eng
+			ds.mu.Unlock()
+		}
+		host.mu.Lock()
+		host.hostOf[InstanceID(inst)] = true
+		host.slaves[InstanceID(inst)] = slaves
+		host.mu.Unlock()
+	}
+	c.route = rt
+	return c, nil
+}
+
+// RouteTable returns a copy of the current route table via the active
+// config server.
+func (c *Cluster) RouteTable() (*RouteTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.configs[0].down && c.configs[1].down {
+		return nil, errors.New("tdstore: no config server available")
+	}
+	c.routeQueries++
+	return c.route.clone(), nil
+}
+
+// RouteQueries reports how many route-table fetches have been served.
+func (c *Cluster) RouteQueries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routeQueries
+}
+
+// server returns the data server by id.
+func (c *Cluster) server(id string) (*DataServer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.byID[id]
+	return ds, ok
+}
+
+// Servers returns the data servers, for inspection and fault injection.
+func (c *Cluster) Servers() []*DataServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*DataServer(nil), c.servers...)
+}
+
+// KillConfigHost fails the host config server; the backup takes over,
+// so route-table service continues (§3.3's host/backup pair).
+func (c *Cluster) KillConfigHost() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.configs[0].down = true
+}
+
+// KillDataServer simulates a data server failure. The config server
+// detects it (heartbeat timeout in a real deployment, immediate here) and
+// promotes a live slave for every instance the dead server hosted,
+// publishing a new route-table version.
+func (c *Cluster) KillDataServer(id string) error {
+	ds, ok := c.server(id)
+	if !ok {
+		return fmt.Errorf("tdstore: unknown data server %q", id)
+	}
+	// Let in-flight replication drain so a promoted slave is current with
+	// everything the host acknowledged (the paper's model assumes slave
+	// catch-up; a real deployment would reconcile from the sync log).
+	ds.WaitSync()
+	ds.setDown(true)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for inst := 0; inst < c.route.NumInstances; inst++ {
+		if c.route.Hosts[inst] != id {
+			continue
+		}
+		promoted := ""
+		var rest []string
+		for _, sid := range c.route.Slaves[inst] {
+			s := c.byID[sid]
+			if promoted == "" && !s.isDown() {
+				promoted = sid
+				continue
+			}
+			rest = append(rest, sid)
+		}
+		if promoted == "" {
+			// No live replica: the instance is unavailable until a
+			// revive; keep the dead host in the table so clients see
+			// ErrServerDown rather than a silent reroute.
+			continue
+		}
+		c.route.Hosts[inst] = promoted
+		c.route.Slaves[inst] = rest
+		changed = true
+		// Rewire serving roles.
+		newHost := c.byID[promoted]
+		var slaveServers []*DataServer
+		for _, sid := range rest {
+			slaveServers = append(slaveServers, c.byID[sid])
+		}
+		newHost.mu.Lock()
+		newHost.hostOf[InstanceID(inst)] = true
+		newHost.slaves[InstanceID(inst)] = slaveServers
+		newHost.mu.Unlock()
+		ds.mu.Lock()
+		delete(ds.hostOf, InstanceID(inst))
+		delete(ds.slaves, InstanceID(inst))
+		ds.mu.Unlock()
+	}
+	if changed {
+		c.route.Version++
+	}
+	return nil
+}
+
+// ReviveDataServer brings a failed server back as a slave for every
+// instance it stores, after a full catch-up copy from each current host.
+func (c *Cluster) ReviveDataServer(id string) error {
+	ds, ok := c.server(id)
+	if !ok {
+		return fmt.Errorf("tdstore: unknown data server %q", id)
+	}
+	ds.setDown(false)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	ds.mu.Lock()
+	resident := make([]InstanceID, 0, len(ds.instances))
+	for inst := range ds.instances {
+		resident = append(resident, inst)
+	}
+	ds.mu.Unlock()
+	for _, inst := range resident {
+		hostID := c.route.Hosts[int(inst)]
+		if hostID == id {
+			continue // still the (possibly only) host
+		}
+		host := c.byID[hostID]
+		if err := catchUp(host, ds, inst); err != nil {
+			return err
+		}
+		// Register as a slave if not already present.
+		found := false
+		for _, sid := range c.route.Slaves[int(inst)] {
+			if sid == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.route.Slaves[int(inst)] = append(c.route.Slaves[int(inst)], id)
+			host.mu.Lock()
+			host.slaves[inst] = append(host.slaves[inst], ds)
+			host.mu.Unlock()
+			changed = true
+		}
+	}
+	if changed {
+		c.route.Version++
+	}
+	return nil
+}
+
+// catchUp copies an instance's full contents from host to the revived
+// replica.
+func catchUp(host, replica *DataServer, inst InstanceID) error {
+	host.mu.Lock()
+	src, ok := host.instances[inst]
+	host.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("tdstore: host %s lacks instance %d", host.ID, inst)
+	}
+	replica.mu.Lock()
+	dst, ok := replica.instances[inst]
+	replica.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("tdstore: replica %s lacks instance %d", replica.ID, inst)
+	}
+	return src.Range(func(k string, v []byte) bool {
+		_ = dst.Put(k, v)
+		return true
+	})
+}
+
+// WaitSync drains all pending host→slave replication in the cluster.
+func (c *Cluster) WaitSync() {
+	for _, ds := range c.Servers() {
+		ds.WaitSync()
+	}
+}
+
+// Close stops background replication and closes every engine.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	servers := append([]*DataServer(nil), c.servers...)
+	c.mu.Unlock()
+	var first error
+	for _, ds := range servers {
+		ds.stop()
+		ds.mu.Lock()
+		for _, eng := range ds.instances {
+			if err := eng.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		ds.mu.Unlock()
+	}
+	return first
+}

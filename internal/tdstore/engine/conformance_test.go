@@ -1,0 +1,258 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tencentrec/internal/tdstore/engine"
+	"tencentrec/internal/tdstore/engine/fdb"
+	"tencentrec/internal/tdstore/engine/ldb"
+)
+
+// engines enumerates every engine implementation under one conformance
+// suite, the way TDStore treats them interchangeably (§3.3).
+func engines(t *testing.T) map[string]func() engine.Engine {
+	t.Helper()
+	return map[string]func() engine.Engine{
+		"mdb": func() engine.Engine { return engine.NewMemory() },
+		"ldb": func() engine.Engine {
+			s, err := ldb.Open(t.TempDir(), ldb.Options{FlushThreshold: 64, MaxTables: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"fdb": func() engine.Engine {
+			s, err := fdb.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func TestEngineBasicOps(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			if _, ok, _ := e.Get("missing"); ok {
+				t.Fatal("Get(missing) reported present")
+			}
+			if err := e.Put("a", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := e.Get("a")
+			if err != nil || !ok || string(v) != "1" {
+				t.Fatalf("Get(a) = %q %v %v", v, ok, err)
+			}
+			if err := e.Put("a", []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = e.Get("a")
+			if string(v) != "2" {
+				t.Fatalf("overwrite lost: %q", v)
+			}
+			if err := e.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := e.Get("a"); ok {
+				t.Fatal("Get after Delete reported present")
+			}
+			if err := e.Delete("never-existed"); err != nil {
+				t.Fatalf("Delete(absent) = %v", err)
+			}
+		})
+	}
+}
+
+func TestEngineLenAndRange(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := e.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				if err := e.Delete(fmt.Sprintf("k%03d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := e.Len()
+			if err != nil || got != n/2 {
+				t.Fatalf("Len = %d, %v; want %d", got, err, n/2)
+			}
+			seen := make(map[string]string)
+			if err := e.Range(func(k string, v []byte) bool {
+				seen[k] = string(v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != n/2 {
+				t.Fatalf("Range visited %d keys, want %d", len(seen), n/2)
+			}
+			for i := 1; i < n; i += 2 {
+				k := fmt.Sprintf("k%03d", i)
+				if seen[k] != fmt.Sprintf("v%d", i) {
+					t.Fatalf("Range[%s] = %q", k, seen[k])
+				}
+			}
+		})
+	}
+}
+
+func TestEngineRangeEarlyStop(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			for i := 0; i < 50; i++ {
+				e.Put(fmt.Sprintf("k%d", i), []byte("v"))
+			}
+			count := 0
+			e.Range(func(string, []byte) bool {
+				count++
+				return count < 10
+			})
+			if count != 10 {
+				t.Fatalf("Range visited %d after early stop, want 10", count)
+			}
+		})
+	}
+}
+
+func TestEngineValueIsolation(t *testing.T) {
+	// Mutating a returned value must not corrupt the store.
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			src := []byte("hello")
+			e.Put("k", src)
+			src[0] = 'X' // caller mutates its buffer after Put
+			v1, _, _ := e.Get("k")
+			if string(v1) != "hello" {
+				t.Fatalf("Put did not copy: %q", v1)
+			}
+			v1[0] = 'Y' // caller mutates the returned buffer
+			v2, _, _ := e.Get("k")
+			if string(v2) != "hello" {
+				t.Fatalf("Get did not copy: %q", v2)
+			}
+		})
+	}
+}
+
+func TestEngineConcurrentAccess(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						k := fmt.Sprintf("g%d-k%d", g, i%20)
+						if err := e.Put(k, []byte(fmt.Sprintf("%d", i))); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, _, err := e.Get(k); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			n, err := e.Len()
+			if err != nil || n != 8*20 {
+				t.Fatalf("Len = %d, %v; want 160", n, err)
+			}
+		})
+	}
+}
+
+// TestEngineModelProperty drives each engine with random operation
+// sequences and checks it against a plain map model.
+func TestEngineModelProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value []byte
+	}
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				e := mk()
+				defer e.Close()
+				model := make(map[string][]byte)
+				for _, o := range ops {
+					k := fmt.Sprintf("key-%d", o.Key%32)
+					switch o.Kind % 3 {
+					case 0:
+						if err := e.Put(k, o.Value); err != nil {
+							return false
+						}
+						model[k] = append([]byte(nil), o.Value...)
+					case 1:
+						if err := e.Delete(k); err != nil {
+							return false
+						}
+						delete(model, k)
+					case 2:
+						v, ok, err := e.Get(k)
+						if err != nil {
+							return false
+						}
+						mv, mok := model[k]
+						if ok != mok || (ok && string(v) != string(mv)) {
+							return false
+						}
+					}
+				}
+				n, err := e.Len()
+				return err == nil && n == len(model)
+			}
+			cfg := &quick.Config{MaxCount: 30}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMemoryTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	e := engine.NewMemoryTTL(10*time.Second, clock)
+	e.Put("k", []byte("v"))
+	if _, ok, _ := e.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok, _ := e.Get("k"); ok {
+		t.Fatal("expired entry still present")
+	}
+	n, _ := e.Len()
+	if n != 0 {
+		t.Fatalf("Len after expiry = %d", n)
+	}
+	// Re-put resets the clock.
+	e.Put("k", []byte("v2"))
+	now = now.Add(5 * time.Second)
+	if v, ok, _ := e.Get("k"); !ok || string(v) != "v2" {
+		t.Fatal("refreshed entry missing")
+	}
+}

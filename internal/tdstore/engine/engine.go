@@ -1,0 +1,152 @@
+// Package engine defines the storage engine interface of TDStore and
+// provides the Memory DataBase (MDB) engine.
+//
+// The paper's TDStore data servers support multiple storage engines —
+// "Memory DataBase (MDB), Level DataBase (LDB), Redis DataBase (RDB), and
+// File DataBase (FDB)" (§3.3). This reproduction implements:
+//
+//   - MDB: a mutex-guarded in-memory hash table (this package);
+//   - RDB: Redis is external software, so its role — an in-memory store
+//     with key expiry — is covered by MDB's TTL mode (NewMemoryTTL);
+//   - LDB: a log-structured engine with a write-ahead log, memtable and
+//     sorted string tables (package ldb);
+//   - FDB: a file-backed engine with hashed bucket logs (package fdb).
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Engine is the key-value contract a TDStore data server requires of a
+// storage engine. Implementations must be safe for concurrent use.
+type Engine interface {
+	// Get returns the value stored under key, and whether it exists.
+	Get(key string) ([]byte, bool, error)
+	// Put stores value under key, replacing any previous value.
+	Put(key string, value []byte) error
+	// Delete removes key. Deleting an absent key is not an error.
+	Delete(key string) error
+	// Len returns the number of live keys.
+	Len() (int, error)
+	// Range calls fn for every live pair until fn returns false.
+	// The value slice must not be retained or mutated by fn.
+	Range(fn func(key string, value []byte) bool) error
+	// Close releases engine resources. The engine is unusable afterwards.
+	Close() error
+}
+
+// Memory is the MDB engine: an in-memory map with optional TTL expiry.
+// The zero value is not usable; construct with NewMemory or NewMemoryTTL.
+type Memory struct {
+	mu    sync.RWMutex
+	data  map[string]memEntry
+	ttl   time.Duration
+	clock func() time.Time
+}
+
+type memEntry struct {
+	value   []byte
+	expires time.Time // zero means never
+}
+
+// NewMemory returns an MDB engine without expiry.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[string]memEntry), clock: time.Now}
+}
+
+// NewMemoryTTL returns an MDB engine whose entries expire ttl after each
+// write, standing in for the paper's Redis (RDB) engine. A zero ttl means
+// no expiry. clock may be nil to use time.Now; tests inject a fake clock.
+func NewMemoryTTL(ttl time.Duration, clock func() time.Time) *Memory {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Memory{data: make(map[string]memEntry), ttl: ttl, clock: clock}
+}
+
+// Get implements Engine.
+func (m *Memory) Get(key string) ([]byte, bool, error) {
+	m.mu.RLock()
+	e, ok := m.data[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	if !e.expires.IsZero() && m.clock().After(e.expires) {
+		m.mu.Lock()
+		// Recheck under the write lock: the entry may have been
+		// refreshed since the read lock was dropped.
+		if e2, ok2 := m.data[key]; ok2 && !e2.expires.IsZero() && m.clock().After(e2.expires) {
+			delete(m.data, key)
+		}
+		m.mu.Unlock()
+		return nil, false, nil
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true, nil
+}
+
+// Put implements Engine.
+func (m *Memory) Put(key string, value []byte) error {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	e := memEntry{value: cp}
+	if m.ttl > 0 {
+		e.expires = m.clock().Add(m.ttl)
+	}
+	m.mu.Lock()
+	m.data[key] = e
+	m.mu.Unlock()
+	return nil
+}
+
+// Delete implements Engine.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	delete(m.data, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Len implements Engine. Expired entries still resident count as absent.
+func (m *Memory) Len() (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.ttl <= 0 {
+		return len(m.data), nil
+	}
+	now := m.clock()
+	n := 0
+	for _, e := range m.data {
+		if e.expires.IsZero() || !now.After(e.expires) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Range implements Engine.
+func (m *Memory) Range(fn func(key string, value []byte) bool) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	now := m.clock()
+	for k, e := range m.data {
+		if !e.expires.IsZero() && now.After(e.expires) {
+			continue
+		}
+		if !fn(k, e.value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Close implements Engine.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	m.data = nil
+	m.mu.Unlock()
+	return nil
+}

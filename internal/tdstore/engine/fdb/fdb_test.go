@@ -1,0 +1,135 @@
+package fdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k123")
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, _ := s2.Len()
+	if n != 299 {
+		t.Fatalf("Len after reopen = %d, want 299", n)
+	}
+	v, ok, _ := s2.Get("k42")
+	if !ok || string(v) != "v42" {
+		t.Fatalf("Get(k42) = %q %v", v, ok)
+	}
+	if _, ok, _ := s2.Get("k123"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestCompactionShrinksLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hammer a single key so its bucket accumulates dead records.
+	for i := 0; i < 2000; i++ {
+		if err := s.Put("hot", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := s.bucketFor("hot")
+	b.mu.RLock()
+	records, live := b.records, len(b.live)
+	b.mu.RUnlock()
+	if live != 1 {
+		t.Fatalf("live = %d, want 1", live)
+	}
+	if records > compactFactor*(live+1)+256 {
+		t.Fatalf("records = %d, compaction never triggered", records)
+	}
+	v, ok, _ := s.Get("hot")
+	if !ok || string(v) != "v1999" {
+		t.Fatalf("Get(hot) after compactions = %q %v", v, ok)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("v"))
+	b := s.bucketFor("k")
+	path := b.path
+	s.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x01, 0x02})
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with torn tail failed: %v", err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("record before torn tail lost: %q %v", v, ok)
+	}
+}
+
+func TestBucketFilesCreated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "bucket-*.log"))
+	if len(files) != numBuckets {
+		t.Fatalf("found %d bucket files, want %d", len(files), numBuckets)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Fatalf("Put on closed = %v, want ErrClosed", err)
+	}
+}
+
+func BenchmarkFDBPut(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%5000), val)
+	}
+}

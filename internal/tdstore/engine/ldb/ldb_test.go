@@ -1,0 +1,352 @@
+package ldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReopenRecoversFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20}) // never flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k50")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, err := s2.Get("k7")
+	if err != nil || !ok || string(v) != "v7" {
+		t.Fatalf("Get(k7) after reopen = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := s2.Get("k50"); ok {
+		t.Fatal("deleted key resurrected after reopen")
+	}
+	n, _ := s2.Len()
+	if n != 99 {
+		t.Fatalf("Len after reopen = %d, want 99", n)
+	}
+}
+
+func TestReopenRecoversFromTables(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TableCount() == 0 {
+		t.Fatal("no SSTables were written")
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 200; i++ {
+		v, ok, err := s2.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%d) = %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestNewestVersionWinsAcrossTables(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("r%d", round)))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok, _ := s.Get(fmt.Sprintf("k%d", i))
+		if !ok || string(v) != "r4" {
+			t.Fatalf("Get(k%d) = %q %v, want r4", i, v, ok)
+		}
+	}
+}
+
+func TestCompactMergesAndDropsTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 8, MaxTables: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	for i := 0; i < 32; i++ {
+		s.Delete(fmt.Sprintf("k%d", i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TableCount(); got != 1 {
+		t.Fatalf("TableCount after compact = %d, want 1", got)
+	}
+	n, _ := s.Len()
+	if n != 32 {
+		t.Fatalf("Len after compact = %d, want 32", n)
+	}
+	s.Close()
+
+	// Compaction must not lose data across reopen.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n2, _ := s2.Len()
+	if n2 != 32 {
+		t.Fatalf("Len after compact+reopen = %d, want 32", n2)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 4, MaxTables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 400; i++ {
+		s.Put(fmt.Sprintf("k%d", i%10), []byte{byte(i)})
+	}
+	if got := s.TableCount(); got > 4 {
+		t.Fatalf("TableCount = %d, auto-compaction did not bound tables", got)
+	}
+}
+
+func TestTornWALTailIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("good", []byte("value"))
+	s.Close()
+
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe})
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with torn WAL failed: %v", err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get("good")
+	if !ok || string(v) != "value" {
+		t.Fatalf("record before torn tail lost: %q %v", v, ok)
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("empty")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get(empty) = %v %v %v", v, ok, err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put("k", []byte("v")); err != ErrClosed {
+		t.Fatalf("Put on closed = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get("k"); err != ErrClosed {
+		t.Fatalf("Get on closed = %v, want ErrClosed", err)
+	}
+}
+
+func BenchmarkLDBPut(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{FlushThreshold: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%5000), val)
+	}
+}
+
+func BenchmarkLDBGet(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{FlushThreshold: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 64)
+	for i := 0; i < 5000; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("key-%d", i%5000))
+	}
+}
+
+func TestRangeMergesAllLevels(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 4, MaxTables: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Spread keys across several tables plus the memtable, with
+	// overwrites and deletes in newer levels.
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("old"))
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("new"))
+	}
+	s.Delete("k15")
+	got := make(map[string]string)
+	if err := s.Range(func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 19 {
+		t.Fatalf("Range saw %d keys, want 19", len(got))
+	}
+	if got["k03"] != "new" || got["k12"] != "old" {
+		t.Fatalf("Range merged wrong versions: %v", got)
+	}
+	if _, ok := got["k15"]; ok {
+		t.Fatal("deleted key visible in Range")
+	}
+	n, _ := s.Len()
+	if n != 19 {
+		t.Fatalf("Len = %d, want 19", n)
+	}
+}
+
+func TestFlushEmptyMemtableIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 0 {
+		t.Fatalf("empty flush wrote a table")
+	}
+}
+
+func TestCompactSingleTableIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 1 {
+		t.Fatalf("TableCount = %d", s.TableCount())
+	}
+	if err := s.Compact(); err != nil { // single table: no merge needed
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get after compact = %q %v", v, ok)
+	}
+}
+
+func TestSyncWritesMode(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := s.Len()
+	if n != 10 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestForeignFilesIgnoredOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sst-notanumber.tbl"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with foreign file: %v", err)
+	}
+	s.Close()
+}
+
+func TestCorruptTableRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2")) // triggers flush to sst
+	s.Close()
+
+	tables, _ := filepath.Glob(filepath.Join(dir, "sst-*.tbl"))
+	if len(tables) == 0 {
+		t.Fatal("no table written")
+	}
+	// Flip a byte in the middle of the table.
+	data, _ := os.ReadFile(tables[0])
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(tables[0], data, 0o644)
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt table")
+	}
+}

@@ -1,0 +1,232 @@
+package tdstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tencentrec/internal/tdstore/engine"
+)
+
+// ErrServerDown is returned when an operation reaches a data server that
+// has failed. Clients react by refreshing the route table and retrying.
+var ErrServerDown = errors.New("tdstore: data server is down")
+
+// ErrNotHost is returned when an operation reaches a data server that no
+// longer hosts the target instance (a stale route).
+var ErrNotHost = errors.New("tdstore: server is not the host of this instance")
+
+// opKind enumerates replicated mutations.
+type opKind int
+
+const (
+	opPut opKind = iota
+	opDelete
+)
+
+// syncOp is one mutation queued for host→slave synchronization.
+type syncOp struct {
+	kind     opKind
+	instance InstanceID
+	key      string
+	value    []byte
+}
+
+// DataServer stores data instances, serving as host for some and slave
+// for others (§3.3's fine-grained backup).
+type DataServer struct {
+	// ID names the server, e.g. "ds-0".
+	ID string
+
+	mu        sync.Mutex
+	down      bool
+	instances map[InstanceID]engine.Engine // all instances resident here
+	hostOf    map[InstanceID]bool          // instances this server serves
+	slaves    map[InstanceID][]*DataServer // instance -> slave servers
+
+	syncMu    sync.Mutex
+	syncQueue []syncOp
+	syncCond  *sync.Cond
+	syncStop  bool
+	syncDone  chan struct{}
+	// lag counts mutations applied at the host but not yet at slaves.
+	lag int
+}
+
+func newDataServer(id string) *DataServer {
+	ds := &DataServer{
+		ID:        id,
+		instances: make(map[InstanceID]engine.Engine),
+		hostOf:    make(map[InstanceID]bool),
+		slaves:    make(map[InstanceID][]*DataServer),
+		syncDone:  make(chan struct{}),
+	}
+	ds.syncCond = sync.NewCond(&ds.syncMu)
+	go ds.syncLoop()
+	return ds
+}
+
+// syncLoop applies queued mutations to slave replicas in the background,
+// reproducing the paper's "the slave data server will update its data when
+// idle" without involving the config server.
+func (ds *DataServer) syncLoop() {
+	defer close(ds.syncDone)
+	for {
+		ds.syncMu.Lock()
+		for len(ds.syncQueue) == 0 && !ds.syncStop {
+			ds.syncCond.Wait()
+		}
+		if ds.syncStop && len(ds.syncQueue) == 0 {
+			ds.syncMu.Unlock()
+			return
+		}
+		batch := ds.syncQueue
+		ds.syncQueue = nil
+		ds.syncMu.Unlock()
+
+		for _, op := range batch {
+			ds.mu.Lock()
+			targets := append([]*DataServer(nil), ds.slaves[op.instance]...)
+			ds.mu.Unlock()
+			for _, slave := range targets {
+				slave.applyReplica(op)
+			}
+			ds.syncMu.Lock()
+			ds.lag--
+			ds.syncMu.Unlock()
+		}
+	}
+}
+
+// applyReplica applies one replicated mutation to this server's copy of
+// the instance. Replication proceeds even while a server is marked down
+// only if the engine still exists; a down server drops updates, which the
+// promotion path tolerates because the new host already has the data it
+// acknowledged.
+func (ds *DataServer) applyReplica(op syncOp) {
+	ds.mu.Lock()
+	eng, ok := ds.instances[op.instance]
+	down := ds.down
+	ds.mu.Unlock()
+	if !ok || down {
+		return
+	}
+	switch op.kind {
+	case opPut:
+		_ = eng.Put(op.key, op.value)
+	case opDelete:
+		_ = eng.Delete(op.key)
+	}
+}
+
+// enqueueSync schedules a mutation for slave catch-up.
+func (ds *DataServer) enqueueSync(op syncOp) {
+	ds.syncMu.Lock()
+	ds.syncQueue = append(ds.syncQueue, op)
+	ds.lag++
+	ds.syncCond.Signal()
+	ds.syncMu.Unlock()
+}
+
+// WaitSync blocks until every mutation acknowledged by this host has been
+// applied to its slaves. Tests and orderly shutdowns use it; production
+// reads tolerate replica lag as the paper's design does.
+func (ds *DataServer) WaitSync() {
+	for {
+		ds.syncMu.Lock()
+		lag := ds.lag
+		ds.syncMu.Unlock()
+		if lag == 0 {
+			return
+		}
+		ds.syncCond.Signal()
+		// Busy-wait with a yield; queues drain in microseconds.
+		syncYield()
+	}
+}
+
+// hostGet serves a read for an instance this server hosts.
+func (ds *DataServer) hostGet(instance InstanceID, key string) ([]byte, bool, error) {
+	ds.mu.Lock()
+	if ds.down {
+		ds.mu.Unlock()
+		return nil, false, ErrServerDown
+	}
+	if !ds.hostOf[instance] {
+		ds.mu.Unlock()
+		return nil, false, ErrNotHost
+	}
+	eng := ds.instances[instance]
+	ds.mu.Unlock()
+	return eng.Get(key)
+}
+
+// hostMutate serves a write for an instance this server hosts and queues
+// replication. fn runs with exclusive access to the instance, enabling
+// atomic read-modify-write (the Incr path).
+func (ds *DataServer) hostMutate(instance InstanceID, fn func(eng engine.Engine) ([]syncOp, error)) error {
+	ds.mu.Lock()
+	if ds.down {
+		ds.mu.Unlock()
+		return ErrServerDown
+	}
+	if !ds.hostOf[instance] {
+		ds.mu.Unlock()
+		return ErrNotHost
+	}
+	eng := ds.instances[instance]
+	ops, err := fn(eng)
+	ds.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		ds.enqueueSync(op)
+	}
+	return nil
+}
+
+// setDown marks the server failed or revived.
+func (ds *DataServer) setDown(down bool) {
+	ds.mu.Lock()
+	ds.down = down
+	ds.mu.Unlock()
+}
+
+// isDown reports the failure flag.
+func (ds *DataServer) isDown() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.down
+}
+
+// stop terminates the sync loop. Used by Cluster.Close.
+func (ds *DataServer) stop() {
+	ds.syncMu.Lock()
+	ds.syncStop = true
+	ds.syncCond.Broadcast()
+	ds.syncMu.Unlock()
+	<-ds.syncDone
+}
+
+// InstanceCount returns how many instances are resident (host or slave).
+func (ds *DataServer) InstanceCount() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.instances)
+}
+
+// HostedCount returns how many instances this server currently serves.
+func (ds *DataServer) HostedCount() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	n := 0
+	for _, h := range ds.hostOf {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+func (ds *DataServer) String() string { return fmt.Sprintf("DataServer(%s)", ds.ID) }

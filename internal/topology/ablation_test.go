@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestOptimizationsPreserveResults checks that the §5 performance
+// optimizations — combiner buffering and per-task caching — change cost,
+// never results: every (cache, combiner) configuration must produce
+// identical itemCounts and pairCounts.
+func TestOptimizationsPreserveResults(t *testing.T) {
+	actions := genActions(51, 1500, 30, 24)
+	type variant struct {
+		name string
+		p    Params
+	}
+	variants := []variant{
+		{"default", Params{FlushInterval: time.Hour}},
+		{"no-cache", Params{FlushInterval: time.Hour, CacheSize: -1}},
+		{"no-combiner", Params{FlushInterval: time.Hour, DisableCombiner: true}},
+		{"bare", Params{FlushInterval: time.Hour, CacheSize: -1, DisableCombiner: true}},
+	}
+	counts := make([]map[string]float64, len(variants))
+	for vi, v := range variants {
+		st := NewMemState()
+		runTopology(t, st, v.p, actions, Parallelism{UserHistory: 2, PairCount: 2}, Features{CF: true})
+		m := make(map[string]float64)
+		for i := 0; i < 24; i++ {
+			key := prefixItemCount + fmt.Sprintf("i%d", i)
+			m[key] = readStateCounter(t, st, key, 0, 0)
+		}
+		for a := 0; a < 24; a++ {
+			for b := a + 1; b < 24; b++ {
+				key := prefixPairCount + pairID(fmt.Sprintf("i%d", a), fmt.Sprintf("i%d", b))
+				m[key] = readStateCounter(t, st, key, 0, 0)
+			}
+		}
+		counts[vi] = m
+	}
+	for vi := 1; vi < len(variants); vi++ {
+		for key, want := range counts[0] {
+			if got := counts[vi][key]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("variant %s: %s = %v, default %v", variants[vi].name, key, got, want)
+			}
+		}
+	}
+}
+
+// TestCombinerReducesStoreWrites verifies the §5.3 cost claim under
+// hot-item traffic: with the combiner on, far fewer store puts.
+func TestCombinerReducesStoreWrites(t *testing.T) {
+	var actions []RawAction
+	for i := 0; i < 2000; i++ {
+		item := "hot"
+		if i%5 == 0 {
+			item = fmt.Sprintf("cold%d", i%50)
+		}
+		actions = append(actions, RawAction{
+			User:   fmt.Sprintf("u%d", i%100),
+			Item:   item,
+			Action: "read",
+			TS:     t0.Add(time.Duration(i) * time.Second).UnixNano(),
+		})
+	}
+	run := func(disable bool) int64 {
+		st := NewMemState()
+		p := Params{FlushInterval: time.Hour, DisableCombiner: disable, CacheSize: -1}
+		runTopology(t, st, p, actions, Parallelism{}, Features{CF: true})
+		_, puts := st.Ops()
+		return puts
+	}
+	on := run(false)
+	off := run(true)
+	if on*2 > off {
+		t.Fatalf("combiner saved too little: %d puts on vs %d off", on, off)
+	}
+}
+
+// TestCacheReducesStoreReads verifies the §5.2 cost claim under burst
+// locality: with the cache on, far fewer store gets.
+func TestCacheReducesStoreReads(t *testing.T) {
+	actions := genActions(53, 2000, 20, 16) // few users/items: high locality
+	run := func(size int) int64 {
+		st := NewMemState()
+		p := Params{FlushInterval: time.Hour, CacheSize: size}
+		runTopology(t, st, p, actions, Parallelism{}, Features{CF: true})
+		gets, _ := st.Ops()
+		return gets
+	}
+	on := run(4096)
+	off := run(-1)
+	if on*2 > off {
+		t.Fatalf("cache saved too little: %d gets on vs %d off", on, off)
+	}
+}
+
+// TestSimilarityRecheckConvergesInLongRunningTopology reproduces the
+// tick-race scenario: a single wave of actions through a *submitted*
+// (long-running) topology, where PairCount's flush can fire before
+// ItemCount's. The recheck pass must converge stored similarities to the
+// library values.
+func TestSimilarityRecheckConvergesInLongRunningTopology(t *testing.T) {
+	actions := genActions(57, 600, 15, 12)
+	st := NewMemState()
+	p := Params{FlushInterval: 10 * time.Millisecond}
+	// A spout that emits everything then idles (long-running style).
+	b := NewBuilder("longrun", NewSliceSpout(actions), st, p).
+		WithParallelism(Parallelism{ItemCount: 2, PairCount: 2})
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cf := libEngine(p.withDefaults(), actions)
+	now := time.Unix(0, actions[len(actions)-1].TS)
+	srv := NewServing(st, p)
+	for i := 0; i < 12; i++ {
+		item := fmt.Sprintf("i%d", i)
+		list, err := srv.SimilarItems(item, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range list {
+			want := cf.Similarity(item, s.Item, now)
+			if math.Abs(s.Score-want) > 1e-9 {
+				t.Fatalf("sim(%s,%s) = %v, library %v (recheck did not converge)",
+					item, s.Item, s.Score, want)
+			}
+		}
+	}
+}
+
+// TestSuggestParallelism exercises the §7 future-work feature: automatic
+// parallelism from a traffic sample.
+func TestSuggestParallelism(t *testing.T) {
+	sample := genActions(61, 2000, 50, 40)
+	p := Params{FlushInterval: time.Hour}
+	low, err := SuggestParallelism(sample, p, Features{CF: true}, 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SuggestParallelism(sample, p, Features{CF: true}, 5e6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.UserHistory < 1 || low.PairCount < 1 {
+		t.Fatalf("low-rate suggestion has zero tasks: %+v", low)
+	}
+	if high.UserHistory <= low.UserHistory && high.PairCount <= low.PairCount {
+		t.Fatalf("suggestion did not scale with rate: low=%+v high=%+v", low, high)
+	}
+	if high.UserHistory > 16 || high.PairCount > 16 {
+		t.Fatalf("suggestion exceeded maxTasks: %+v", high)
+	}
+	// The suggestion must build a valid topology.
+	topo, err := NewBuilder("sized", NewSliceSpout(sample), NewMemState(), p).
+		WithParallelism(high).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Parallelism(UnitUserHistory) != high.UserHistory {
+		t.Fatal("suggested parallelism not applied")
+	}
+	// Error paths.
+	if _, err := SuggestParallelism(nil, p, Features{CF: true}, 100, 0); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := SuggestParallelism(sample, p, Features{CF: true}, 0, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

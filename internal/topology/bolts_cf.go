@@ -1,0 +1,650 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tencentrec/internal/combiner"
+	"tencentrec/internal/core"
+	"tencentrec/internal/demographic"
+	"tencentrec/internal/stream"
+)
+
+// Stream ids and field names flowing between the units of Fig. 6.
+const (
+	StreamUserAction = "user_action"
+	StreamAdEvent    = "ad_event"
+	StreamItemDelta  = "item_delta"
+	StreamPairDelta  = "pair_delta"
+	StreamGroupDelta = "group_delta"
+	StreamARItem     = "ar_item"
+	StreamARPair     = "ar_pair"
+	StreamSim        = "sim"
+	StreamItemInfo   = "item_info"
+)
+
+// combKey packs a counter key with its session for combiner buffering;
+// deltas from different sessions must not merge.
+func combKey(key string, session int64) string {
+	return fmt.Sprintf("%s@%d", key, session)
+}
+
+// flushedDelta is one combiner output entry, ungrouped for ordered apply.
+type flushedDelta struct {
+	key     string
+	session int64
+	value   float64
+}
+
+// drainCombiner empties a combiner into session-ordered deltas: windowed
+// counters fold too-old sessions into the window edge, so deltas must be
+// applied oldest-first for results independent of map iteration order.
+func drainCombiner(c *combiner.Combiner) []flushedDelta {
+	var out []flushedDelta
+	c.Flush(func(ck string, v float64) {
+		key, session := splitCombKey(ck)
+		out = append(out, flushedDelta{key: key, session: session, value: v})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].session != out[j].session {
+			return out[i].session < out[j].session
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+func splitCombKey(ck string) (string, int64) {
+	for i := len(ck) - 1; i >= 0; i-- {
+		if ck[i] == '@' {
+			var session int64
+			fmt.Sscanf(ck[i+1:], "%d", &session)
+			return ck[:i], session
+		}
+	}
+	return ck, 0
+}
+
+// PretreatmentBolt is the preprocessing layer: it parses raw TDAccess
+// payloads, filters unqualified tuples and routes behaviour tuples to the
+// algorithm layer ("gets data from TDAccess, parses the raw message,
+// filters the unqualified data tuples", §5.1).
+type PretreatmentBolt struct {
+	p Params
+	c stream.Collector
+}
+
+// NewPretreatmentBolt returns the bolt factory.
+func NewPretreatmentBolt(p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &PretreatmentBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *PretreatmentBolt) Prepare(_ stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *PretreatmentBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	raw, _ := t.Value("raw").([]byte)
+	a, err := DecodeAction(raw)
+	if err != nil {
+		return err
+	}
+	if a.User == "" || a.Item == "" || a.Action == "" {
+		return nil // unqualified tuple: dropped, not an error
+	}
+	switch a.Action {
+	case "impression", "ad_click":
+		b.c.EmitTo(StreamAdEvent, stream.Values{a.Item, a.Action, a.Region, a.Gender, a.Age, a.Position, a.TS})
+	default:
+		if _, ok := b.p.Weights[core.ActionType(a.Action)]; !ok {
+			return nil // unknown behaviour type
+		}
+		b.c.EmitTo(StreamUserAction, stream.Values{a.User, a.Item, a.Action, a.TS})
+	}
+	return nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *PretreatmentBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *PretreatmentBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		StreamUserAction: {"user", "item", "action", "ts"},
+		StreamAdEvent:    {"item", "etype", "region", "gender", "age", "position", "ts"},
+	}
+}
+
+// UserHistoryBolt is Fig. 4's first layer: grouped by user id, it keeps
+// each user's behavior history in TDStore, derives the rating delta and
+// co-rating deltas of Eq. 8 from each action, and re-hashes them
+// downstream — item deltas by item id, pair deltas by pair key, and
+// demographic deltas by group id (the multi-hash of §5.4).
+type UserHistoryBolt struct {
+	p  Params
+	c  stream.Collector
+	st *taskState
+}
+
+// NewUserHistoryBolt returns the bolt factory over the shared store.
+func NewUserHistoryBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &UserHistoryBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt. The taskState (and its cache) is
+// rebuilt from the durable store on every (re)start — the §3.3 recovery
+// story.
+func (b *UserHistoryBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// effective returns the stored rating if still inside the sliding window.
+func (b *UserHistoryBolt) effective(r storedRating, session int64) float64 {
+	if b.p.WindowSessions > 0 && r.Session <= session-int64(b.p.WindowSessions) {
+		return 0
+	}
+	return r.Rating
+}
+
+// Execute implements stream.Bolt.
+func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	user := t.Value("user").(string)
+	item := t.Value("item").(string)
+	action := core.ActionType(t.Value("action").(string))
+	ts := t.Value("ts").(int64)
+	weight := b.p.Weights[action]
+	if weight <= 0 {
+		return nil
+	}
+	session := b.p.clock().SessionOf(RawAction{TS: ts}.Time())
+
+	raw, ok, err := b.st.Get(prefixUserHistory + user)
+	if err != nil {
+		return err
+	}
+	hist := make(storedHistory)
+	if ok {
+		if hist, err = decodeHistory(raw); err != nil {
+			return err
+		}
+	}
+
+	prev, had := hist[item]
+	oldR := 0.0
+	if had {
+		oldR = b.effective(prev, session)
+	}
+	newR := math.Max(oldR, weight)
+	if d := newR - oldR; d > 0 {
+		b.c.EmitTo(StreamItemDelta, stream.Values{item, d, session})
+	}
+
+	// AR transaction bookkeeping uses the pre-update timestamps.
+	newTouch := !had || (b.p.LinkedTime > 0 && ts-prev.TS > int64(b.p.LinkedTime))
+	if b.p.EnableAR && newTouch {
+		b.c.EmitTo(StreamARItem, stream.Values{item, session})
+	}
+
+	for j, rj := range hist {
+		if j == item {
+			continue
+		}
+		if b.p.LinkedTime > 0 && ts-rj.TS > int64(b.p.LinkedTime) {
+			continue
+		}
+		rJ := b.effective(rj, session)
+		if rJ <= 0 {
+			continue
+		}
+		deltaCo := math.Min(newR, rJ) - math.Min(oldR, rJ)
+		b.c.EmitTo(StreamPairDelta, stream.Values{pairID(item, j), deltaCo, session})
+		if b.p.EnableAR && newTouch {
+			b.c.EmitTo(StreamARPair, stream.Values{pairID(item, j), session})
+		}
+	}
+
+	// Demographic popularity deltas, re-hashed by group id (§5.4). The
+	// global group always accumulates too: it backs recommendations for
+	// users with no profile (§6.4).
+	group := b.p.groupOf(user)
+	b.c.EmitTo(StreamGroupDelta, stream.Values{group, item, weight, session})
+	if group != demographic.GlobalGroup {
+		b.c.EmitTo(StreamGroupDelta, stream.Values{demographic.GlobalGroup, item, weight, session})
+	}
+
+	hist[item] = storedRating{Rating: newR, TS: ts, Session: session}
+	b.evict(hist, item)
+	return b.st.Put(prefixUserHistory+user, encodeHistory(hist))
+}
+
+func (b *UserHistoryBolt) evict(hist storedHistory, keep string) {
+	if len(hist) <= b.p.MaxUserHistory {
+		return
+	}
+	oldest := ""
+	var oldestTS int64
+	for item, r := range hist {
+		if item == keep {
+			continue
+		}
+		if oldest == "" || r.TS < oldestTS {
+			oldest, oldestTS = item, r.TS
+		}
+	}
+	if oldest != "" {
+		delete(hist, oldest)
+	}
+}
+
+// Cleanup implements stream.Bolt.
+func (b *UserHistoryBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *UserHistoryBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		StreamItemDelta:  {"item", "delta", "session"},
+		StreamPairDelta:  {"pair", "delta", "session"},
+		StreamGroupDelta: {"group", "item", "weight", "session"},
+		StreamARItem:     {"item", "session"},
+		StreamARPair:     {"pair", "session"},
+	}
+}
+
+// ItemCountBolt maintains the windowed itemCounts of Eq. 6: grouped by
+// item id, buffered through a combiner, flushed to TDStore on ticks.
+type ItemCountBolt struct {
+	p    Params
+	st   *taskState
+	comb *combiner.Combiner
+}
+
+// NewItemCountBolt returns the bolt factory.
+func NewItemCountBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &ItemCountBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *ItemCountBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	if !b.p.DisableCombiner {
+		b.comb = combiner.New(combiner.Sum)
+	}
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *ItemCountBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return b.flush()
+	}
+	item := t.Value("item").(string)
+	delta := t.Value("delta").(float64)
+	session := t.Value("session").(int64)
+	if b.comb != nil {
+		b.comb.Add(combKey(item, session), delta)
+		return nil
+	}
+	_, err := b.st.addCounter(prefixItemCount+item, b.p.WindowSessions, session, delta)
+	return err
+}
+
+func (b *ItemCountBolt) flush() error {
+	if b.comb == nil {
+		return nil
+	}
+	var firstErr error
+	for _, d := range drainCombiner(b.comb) {
+		if _, err := b.st.addCounter(prefixItemCount+d.key, b.p.WindowSessions, d.session, d.value); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Cleanup implements stream.Bolt.
+func (b *ItemCountBolt) Cleanup() {}
+
+// PairCountBolt is the pairCount layer of Fig. 4 plus the similarity
+// computation and real-time pruning of Algorithm 1. Grouped by pair key,
+// it is the single writer of each pair's counters — "only a single worker
+// node should operate over a specific item pair at some point. Therefore,
+// the calculation can be safely scaled" (§4.1.3).
+type PairCountBolt struct {
+	p    Params
+	c    stream.Collector
+	st   *taskState
+	comb *combiner.Combiner
+	nCom *combiner.Combiner
+	// pruned caches Algorithm 1's Li membership for this task's pairs;
+	// it reloads lazily from the durable pl: flags after a restart.
+	pruned  map[string]bool
+	checked map[string]bool
+	// recheck schedules pairs for one more similarity recomputation on
+	// the next tick: itemCount flushes race pairCount flushes across
+	// independent tasks, so a similarity computed this interval may
+	// have read partially-flushed itemCounts. The recheck converges the
+	// stored value once the counters settle.
+	recheck map[string]int64
+	// owned records every live pair this task has processed with its
+	// latest session. On the engine's final shutdown tick all owned
+	// pairs are recomputed against the fully-settled counters, so a
+	// drained topology stores exact similarities.
+	owned map[string]int64
+}
+
+// NewPairCountBolt returns the bolt factory.
+func NewPairCountBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &PairCountBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *PairCountBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	if !b.p.DisableCombiner {
+		b.comb = combiner.New(combiner.Sum)
+		b.nCom = combiner.New(combiner.Sum)
+	}
+	b.pruned = make(map[string]bool)
+	b.checked = make(map[string]bool)
+	b.recheck = make(map[string]int64)
+	b.owned = make(map[string]int64)
+	return nil
+}
+
+// isPruned consults the in-memory Li, falling back to the durable flag.
+func (b *PairCountBolt) isPruned(pair string) bool {
+	if b.pruned[pair] {
+		return true
+	}
+	if b.checked[pair] {
+		return false
+	}
+	b.checked[pair] = true
+	if _, ok, _ := b.st.Get(prefixPruned + pair); ok {
+		b.pruned[pair] = true
+		return true
+	}
+	return false
+}
+
+// Execute implements stream.Bolt.
+func (b *PairCountBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return b.flush(t.IsFinalTick())
+	}
+	pair := t.Value("pair").(string)
+	delta := t.Value("delta").(float64)
+	session := t.Value("session").(int64)
+	if b.isPruned(pair) {
+		return nil // Algorithm 1 line 3-5: skip items in Li
+	}
+	if b.comb != nil {
+		b.comb.Add(combKey(pair, session), delta)
+		b.nCom.Add(combKey(pair, session), 1)
+		return nil
+	}
+	err := b.apply(pair, session, delta, 1)
+	if old, ok := b.recheck[pair]; !ok || session > old {
+		b.recheck[pair] = session
+	}
+	return err
+}
+
+func (b *PairCountBolt) flush(final bool) error {
+	var firstErr error
+	// Recompute last interval's pairs against the now-settled counters.
+	if len(b.recheck) > 0 && !final {
+		pending := b.recheck
+		b.recheck = make(map[string]int64)
+		for pair, session := range pending {
+			if err := b.apply(pair, session, 0, 0); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if b.comb != nil {
+		counts := make(map[string]float64)
+		b.nCom.Flush(func(ck string, n float64) { counts[ck] = n })
+		for _, d := range drainCombiner(b.comb) {
+			if err := b.apply(d.key, d.session, d.value, counts[combKey(d.key, d.session)]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			// Schedule one follow-up recomputation.
+			if old, ok := b.recheck[d.key]; !ok || d.session > old {
+				b.recheck[d.key] = d.session
+			}
+		}
+	}
+	if final {
+		// Shutdown flush: every counter upstream has settled (the engine
+		// flushes components in topological order), so recomputing all
+		// owned pairs leaves exact similarities in the store.
+		b.recheck = make(map[string]int64)
+		for pair, session := range b.owned {
+			if err := b.apply(pair, session, 0, 0); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// apply performs Algorithm 1's lines 6-17 for one merged pair update.
+func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) error {
+	if b.pruned[pair] {
+		delete(b.owned, pair)
+		return nil // pruned between buffering and flush
+	}
+	if old, ok := b.owned[pair]; !ok || session > old {
+		b.owned[pair] = session
+	}
+	pcSum, err := b.st.addCounter(prefixPairCount+pair, b.p.WindowSessions, session, delta)
+	if err != nil {
+		return err
+	}
+	itemA, itemB := splitPair(pair)
+	icA, err := b.st.readCounterSum(prefixItemCount+itemA, b.p.WindowSessions, session)
+	if err != nil {
+		return err
+	}
+	icB, err := b.st.readCounterSum(prefixItemCount+itemB, b.p.WindowSessions, session)
+	if err != nil {
+		return err
+	}
+	if pcSum > 0 && (icA <= 0 || icB <= 0) {
+		// The itemCount flushes have not caught up with this pair's
+		// co-ratings; retry on the next tick rather than publish a
+		// meaningless zero.
+		if old, ok := b.recheck[pair]; !ok || session > old {
+			b.recheck[pair] = session
+		}
+		return nil
+	}
+	sim := core.Similarity(pcSum, icA, icB)
+	b.c.EmitTo(StreamSim, stream.Values{itemA, itemB, sim})
+	b.c.EmitTo(StreamSim, stream.Values{itemB, itemA, sim})
+
+	// Hoeffding pruning.
+	if b.p.PruningDelta <= 0 || b.p.PruningDelta >= 1 {
+		return nil
+	}
+	nTotal, err := b.st.addCounter(prefixPairN+pair, 0, 0, n)
+	if err != nil {
+		return err
+	}
+	t1, err := b.threshold(itemA)
+	if err != nil {
+		return err
+	}
+	t2, err := b.threshold(itemB)
+	if err != nil {
+		return err
+	}
+	thr := math.Min(t1, t2)
+	eps := core.HoeffdingEpsilon(1, b.p.PruningDelta, int(nTotal))
+	if eps < thr-sim {
+		b.pruned[pair] = true
+		if err := b.st.Put(prefixPruned+pair, []byte{1}); err != nil {
+			return err
+		}
+		// Withdraw the pair from both lists.
+		b.c.EmitTo(StreamSim, stream.Values{itemA, itemB, 0.0})
+		b.c.EmitTo(StreamSim, stream.Values{itemB, itemA, 0.0})
+	}
+	return nil
+}
+
+// threshold reads an item's top-K list threshold maintained by
+// ResultStorage (a foreign key: never cached here).
+func (b *PairCountBolt) threshold(item string) (float64, error) {
+	raw, ok, err := b.st.getForeign(prefixThreshold + item)
+	if err != nil || !ok {
+		return 0, err
+	}
+	f, err := decodeFloat(raw)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *PairCountBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *PairCountBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		StreamSim: {"item", "other", "sim"},
+	}
+}
+
+// FilterBolt is the storage layer's application-specific filter: results
+// whose candidate item fails the predicate never reach storage
+// ("the recommended items should be of one specific category or of price
+// within a certain range", §5.1). It passes sim tuples through on the
+// same stream id.
+type FilterBolt struct {
+	p Params
+	c stream.Collector
+}
+
+// NewFilterBolt returns the bolt factory.
+func NewFilterBolt(p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &FilterBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *FilterBolt) Prepare(_ stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *FilterBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	other := t.Value("other").(string)
+	sim := t.Value("sim").(float64)
+	if b.p.Filter != nil && !b.p.Filter(other) && sim > 0 {
+		return nil // withdrawals (sim 0) always pass
+	}
+	b.c.EmitTo(StreamSim, stream.Values{t.Value("item"), other, sim})
+	return nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *FilterBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *FilterBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		StreamSim: {"item", "other", "sim"},
+	}
+}
+
+// ResultStorageBolt persists computation results for the query path:
+// grouped by item, it owns the item's similar-items list in TDStore and
+// publishes the list's threshold for the pruning test.
+type ResultStorageBolt struct {
+	p      Params
+	st     *taskState
+	prefix string // list key prefix (similar items or AR rules)
+}
+
+// NewResultStorageBolt returns the bolt factory for similar-items lists.
+func NewResultStorageBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &ResultStorageBolt{p: p, prefix: prefixSimilar} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *ResultStorageBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *ResultStorageBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	item := t.Value("item").(string)
+	other := t.Value("other").(string)
+	sim := t.Value("sim").(float64)
+	raw, ok, err := b.st.Get(b.prefix + item)
+	if err != nil {
+		return err
+	}
+	var list storedList
+	if ok {
+		if list, err = decodeList(raw); err != nil {
+			return err
+		}
+	}
+	list, thr := updateStoredList(list, other, sim, b.p.TopK)
+	if err := b.st.Put(b.prefix+item, encodeList(list)); err != nil {
+		return err
+	}
+	if b.prefix == prefixSimilar {
+		return b.st.Put(prefixThreshold+item, encodeFloat(thr))
+	}
+	return nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *ResultStorageBolt) Cleanup() {}

@@ -1,0 +1,480 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"tencentrec/internal/combiner"
+	"tencentrec/internal/core"
+	"tencentrec/internal/ctr"
+	"tencentrec/internal/stream"
+)
+
+// DBBolt maintains the demographic-based algorithm's per-group hot-items
+// lists. It consumes the group deltas that UserHistoryBolt re-hashed by
+// group id (the multi-hash of §5.4: without the regrouping, tasks hashed
+// by user id would issue conflicting writes to the same group counter).
+type DBBolt struct {
+	p    Params
+	st   *taskState
+	comb *combiner.Combiner
+}
+
+// NewDBBolt returns the bolt factory.
+func NewDBBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &DBBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *DBBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	if !b.p.DisableCombiner {
+		b.comb = combiner.New(combiner.Sum)
+	}
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *DBBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return b.flush()
+	}
+	group := t.Value("group").(string)
+	item := t.Value("item").(string)
+	weight := t.Value("weight").(float64)
+	session := t.Value("session").(int64)
+	ck := combKey(group+"\x1f"+item, session)
+	if b.comb != nil {
+		b.comb.Add(ck, weight)
+		return nil
+	}
+	return b.apply(group+"\x1f"+item, session, weight)
+}
+
+func (b *DBBolt) flush() error {
+	if b.comb == nil {
+		return nil
+	}
+	var firstErr error
+	for _, d := range drainCombiner(b.comb) {
+		if err := b.apply(d.key, d.session, d.value); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (b *DBBolt) apply(groupItem string, session int64, weight float64) error {
+	group, item := splitPair(groupItem)
+	sum, err := b.st.addCounter(prefixGroupCount+groupItem, b.p.WindowSessions, session, weight)
+	if err != nil {
+		return err
+	}
+	raw, ok, err := b.st.Get(prefixHotList + group)
+	if err != nil {
+		return err
+	}
+	var list storedList
+	if ok {
+		if list, err = decodeList(raw); err != nil {
+			return err
+		}
+	}
+	list, _ = updateStoredList(list, item, sum, b.p.TopK)
+	return b.st.Put(prefixHotList+group, encodeList(list))
+}
+
+// Cleanup implements stream.Bolt.
+func (b *DBBolt) Cleanup() {}
+
+// ARBolt maintains the association-rule statistics: grouped by pair key
+// for pair supports, it reads item supports (maintained by ARItemBolt)
+// and emits confidence updates for the rule lists. Pair updates are
+// buffered and rules recomputed on tick flushes, after the racing item
+// supports have settled — the same interval-flush discipline as the
+// counter combiners (§5.3).
+type ARBolt struct {
+	p  Params
+	c  stream.Collector
+	st *taskState
+	// dirty maps pair -> latest session of a buffered update.
+	dirty map[string]int64
+}
+
+// NewARBolt returns the bolt factory.
+func NewARBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &ARBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *ARBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	b.dirty = make(map[string]int64)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *ARBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return b.flush()
+	}
+	pair := t.Value("pair").(string)
+	session := t.Value("session").(int64)
+	if _, err := b.st.addCounter(prefixARPair+pair, b.p.WindowSessions, session, 1); err != nil {
+		return err
+	}
+	if old, ok := b.dirty[pair]; !ok || session > old {
+		b.dirty[pair] = session
+	}
+	return nil
+}
+
+// flush recomputes the rules of every pair updated since the last tick.
+func (b *ARBolt) flush() error {
+	for pair, session := range b.dirty {
+		supp, err := b.st.readCounterSum(prefixARPair+pair, b.p.WindowSessions, session)
+		if err != nil {
+			return err
+		}
+		a, c2 := splitPair(pair)
+		suppA, err := b.st.readCounterSum(prefixARItem+a, b.p.WindowSessions, session)
+		if err != nil {
+			return err
+		}
+		suppB, err := b.st.readCounterSum(prefixARItem+c2, b.p.WindowSessions, session)
+		if err != nil {
+			return err
+		}
+		// Rule a→c2 with confidence supp/supp(a), and the reverse.
+		if suppA > 0 {
+			b.c.EmitTo(StreamSim, stream.Values{a, c2, supp / suppA})
+		}
+		if suppB > 0 {
+			b.c.EmitTo(StreamSim, stream.Values{c2, a, supp / suppB})
+		}
+	}
+	clear(b.dirty)
+	return nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *ARBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *ARBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		StreamSim: {"item", "other", "sim"},
+	}
+}
+
+// ARItemBolt maintains per-item transaction supports for AR.
+type ARItemBolt struct {
+	p  Params
+	st *taskState
+}
+
+// NewARItemBolt returns the bolt factory.
+func NewARItemBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &ARItemBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *ARItemBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *ARItemBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	item := t.Value("item").(string)
+	session := t.Value("session").(int64)
+	_, err := b.st.addCounter(prefixARItem+item, b.p.WindowSessions, session, 1)
+	return err
+}
+
+// Cleanup implements stream.Bolt.
+func (b *ARItemBolt) Cleanup() {}
+
+// NewARListBolt persists AR rule lists (consequents ranked by
+// confidence), reusing the ResultStorage machinery under the al: prefix.
+func NewARListBolt(store State, p Params) stream.BoltFactory {
+	p2 := p.withDefaults()
+	return func() stream.Bolt { return &ResultStorageBolt{p: p2, prefix: prefixARList} }
+}
+
+// ItemInfoBolt stores item content profiles for the CB algorithm:
+// grouped by item id, it writes the normalized TF vector of each item.
+type ItemInfoBolt struct {
+	p  Params
+	st *taskState
+}
+
+// NewItemInfoBolt returns the bolt factory.
+func NewItemInfoBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &ItemInfoBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *ItemInfoBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *ItemInfoBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	item := t.Value("item").(string)
+	terms, _ := t.Value("terms").([]string)
+	published := t.Value("published").(int64)
+	counts := make(map[string]float64)
+	for _, term := range terms {
+		counts[term]++
+	}
+	var norm float64
+	for _, c := range counts {
+		norm += c * c
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for term := range counts {
+			counts[term] /= norm
+		}
+	}
+	return b.st.Put(prefixItemInfo+item, encodeProfile(storedProfile{Weights: counts, Published: published}))
+}
+
+// Cleanup implements stream.Bolt.
+func (b *ItemInfoBolt) Cleanup() {}
+
+// CBBolt maintains content-based user interest profiles: grouped by user
+// id, it folds each action's item vector (from the ItemInfo statistics)
+// into the user's decayed term-weight profile.
+type CBBolt struct {
+	p  Params
+	st *taskState
+}
+
+// NewCBBolt returns the bolt factory.
+func NewCBBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &CBBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *CBBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *CBBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	user := t.Value("user").(string)
+	item := t.Value("item").(string)
+	ts := t.Value("ts").(int64)
+	weight := b.p.Weights[core.ActionType(t.Value("action").(string))]
+	if weight <= 0 {
+		return nil
+	}
+	rawItem, ok, err := b.st.getForeign(prefixItemInfo + item)
+	if err != nil || !ok {
+		return err // unknown item: nothing to learn
+	}
+	itemProf, err := decodeProfile(rawItem)
+	if err != nil {
+		return err
+	}
+	rawUser, ok, err := b.st.Get(prefixUserProfile + user)
+	if err != nil {
+		return err
+	}
+	prof := storedProfile{Weights: make(map[string]float64)}
+	if ok {
+		if prof, err = decodeProfile(rawUser); err != nil {
+			return err
+		}
+	}
+	// Exponential decay since last update.
+	if b.p.CBHalfLife > 0 && prof.UpdatedTS > 0 && ts > prof.UpdatedTS {
+		f := math.Exp2(-float64(ts-prof.UpdatedTS) / float64(b.p.CBHalfLife))
+		for term, w := range prof.Weights {
+			w *= f
+			if w < 1e-6 {
+				delete(prof.Weights, term)
+			} else {
+				prof.Weights[term] = w
+			}
+		}
+	}
+	for term, tf := range itemProf.Weights {
+		prof.Weights[term] += weight * tf
+	}
+	prof.UpdatedTS = ts
+	return b.st.Put(prefixUserProfile+user, encodeProfile(prof))
+}
+
+// Cleanup implements stream.Bolt.
+func (b *CBBolt) Cleanup() {}
+
+// CtrStoreBolt maintains the situational impression/click counters:
+// grouped by item id, one windowed counter pair per (cuboid cell, item).
+// After each update it emits the cell's smoothed CTR for ranking.
+type CtrStoreBolt struct {
+	p       Params
+	c       stream.Collector
+	st      *taskState
+	cuboids []ctr.Cuboid
+}
+
+// NewCtrStoreBolt returns the bolt factory.
+func NewCtrStoreBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &CtrStoreBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *CtrStoreBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) error {
+	b.c = c
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	b.cuboids = b.p.CtrCuboids
+	if b.cuboids == nil {
+		b.cuboids = []ctr.Cuboid{{}, {ctr.DimGender, ctr.DimAge}, {ctr.DimRegion, ctr.DimGender, ctr.DimAge}}
+	}
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *CtrStoreBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	item := t.Value("item").(string)
+	etype := t.Value("etype").(string)
+	cx := ctr.Context{
+		Region:   t.Value("region").(string),
+		Gender:   t.Value("gender").(string),
+		AgeGroup: t.Value("age").(string),
+		Position: t.Value("position").(string),
+	}
+	ts := t.Value("ts").(int64)
+	session := b.p.clock().SessionOf(RawAction{TS: ts}.Time())
+	for _, cb := range b.cuboids {
+		sit := cb.Key(cx)
+		cell := sit + "\x1f" + item
+		var imps, clks float64
+		var err error
+		if etype == "impression" {
+			imps, err = b.st.addCounter(prefixCtrImp+cell, b.p.WindowSessions, session, 1)
+			if err != nil {
+				return err
+			}
+			clks, err = b.st.readCounterSum(prefixCtrClk+cell, b.p.WindowSessions, session)
+		} else {
+			clks, err = b.st.addCounter(prefixCtrClk+cell, b.p.WindowSessions, session, 1)
+			if err != nil {
+				return err
+			}
+			imps, err = b.st.readCounterSum(prefixCtrImp+cell, b.p.WindowSessions, session)
+		}
+		if err != nil {
+			return err
+		}
+		score := (clks + b.p.CtrPriorClicks) / (imps + b.p.CtrPriorImpressions)
+		b.c.EmitTo("ctr_cell", stream.Values{sit, item, score})
+	}
+	return nil
+}
+
+// Cleanup implements stream.Bolt.
+func (b *CtrStoreBolt) Cleanup() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (b *CtrStoreBolt) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{
+		"ctr_cell": {"sit", "item", "score"},
+	}
+}
+
+// CtrBolt maintains the per-situation ad ranking: grouped by situation
+// key, it folds smoothed CTR updates into the situation's top list.
+type CtrBolt struct {
+	p  Params
+	st *taskState
+}
+
+// NewCtrBolt returns the bolt factory.
+func NewCtrBolt(store State, p Params) stream.BoltFactory {
+	p = p.withDefaults()
+	return func() stream.Bolt { return &CtrBolt{p: p} }
+}
+
+// Prepare implements stream.Bolt.
+func (b *CtrBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
+	st, ok := ctx.Config["state"].(State)
+	if !ok {
+		return fmt.Errorf("topology: missing state in topology config")
+	}
+	b.st = newTaskState(st, b.p.CacheSize)
+	return nil
+}
+
+// Execute implements stream.Bolt.
+func (b *CtrBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		return nil
+	}
+	sit := t.Value("sit").(string)
+	item := t.Value("item").(string)
+	score := t.Value("score").(float64)
+	raw, ok, err := b.st.Get(prefixCtrTop + sit)
+	if err != nil {
+		return err
+	}
+	var list storedList
+	if ok {
+		if list, err = decodeList(raw); err != nil {
+			return err
+		}
+	}
+	list, _ = updateStoredList(list, item, score, b.p.TopK)
+	return b.st.Put(prefixCtrTop+sit, encodeList(list))
+}
+
+// Cleanup implements stream.Bolt.
+func (b *CtrBolt) Cleanup() {}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"fmt"
+
+	"tencentrec/internal/stream"
+)
+
+// Unit names, matching the components of Fig. 6 and the XML class names
+// of Fig. 7.
+const (
+	UnitSpout         = "spout"
+	UnitItemFeed      = "itemFeed"
+	UnitPretreatment  = "pretreatment"
+	UnitUserHistory   = "userHistory"
+	UnitItemCount     = "itemCount"
+	UnitPairCount     = "pairCount"
+	UnitFilter        = "filter"
+	UnitResultStorage = "resultStorage"
+	UnitDB            = "dbBolt"
+	UnitARItem        = "arItemBolt"
+	UnitAR            = "arBolt"
+	UnitARList        = "arListBolt"
+	UnitItemInfo      = "itemInfo"
+	UnitCB            = "cbBolt"
+	UnitCtrStore      = "ctrStore"
+	UnitCtr           = "ctrBolt"
+)
+
+// Parallelism sets per-unit task counts; zero fields default to 1.
+// The paper sets these manually per application (§7 lists automatic
+// parallelism as future work).
+type Parallelism struct {
+	Spout, Pretreatment, UserHistory, ItemCount, PairCount,
+	Storage, DB, AR, CB, Ctr int
+}
+
+func (p Parallelism) get(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+// Features selects which algorithm chains a topology includes, the way
+// each production application's XML names only the units it needs.
+type Features struct {
+	// CF enables the item-based CF chain (UserHistory → ItemCount /
+	// PairCount → [Filter] → ResultStorage). UserHistory and the DB
+	// chain are always present: DB complements every application (§6.2).
+	CF bool
+	// AR enables the association-rule chain.
+	AR bool
+	// CB enables the content-based chain; requires an item feed
+	// (SetItemFeed or a live item_info stream).
+	CB bool
+	// Ctr enables the situational CTR chain.
+	Ctr bool
+}
+
+// Builder assembles a TencentRec application topology.
+type Builder struct {
+	name     string
+	spout    stream.SpoutFactory
+	itemFeed stream.SpoutFactory
+	state    State
+	params   Params
+	par      Parallelism
+	feats    Features
+}
+
+// NewBuilder starts a topology for one application.
+func NewBuilder(name string, spout stream.SpoutFactory, st State, p Params) *Builder {
+	return &Builder{
+		name:   name,
+		spout:  spout,
+		state:  st,
+		params: p.withDefaults(),
+		feats:  Features{CF: true},
+	}
+}
+
+// WithParallelism sets per-unit parallelism.
+func (b *Builder) WithParallelism(par Parallelism) *Builder {
+	b.par = par
+	return b
+}
+
+// WithFeatures selects the algorithm chains.
+func (b *Builder) WithFeatures(f Features) *Builder {
+	b.feats = f
+	return b
+}
+
+// WithItemFeed attaches an item-metadata spout for the CB chain.
+func (b *Builder) WithItemFeed(feed stream.SpoutFactory) *Builder {
+	b.itemFeed = feed
+	return b
+}
+
+// Build wires the units per Fig. 6 and validates the graph.
+func (b *Builder) Build() (*stream.Topology, error) {
+	if b.state == nil {
+		return nil, fmt.Errorf("topology: Builder requires a State")
+	}
+	p := b.params
+	tb := stream.NewTopologyBuilder(b.name)
+	tb.SetConfig("state", b.state)
+
+	tb.SetSpout(UnitSpout, b.spout, b.par.get(b.par.Spout))
+	tb.SetBolt(UnitPretreatment, NewPretreatmentBolt(p), b.par.get(b.par.Pretreatment)).
+		Shuffle(UnitSpout)
+
+	// UserHistory and the DB complement run for every application.
+	tb.SetBolt(UnitUserHistory, NewUserHistoryBolt(b.state, p), b.par.get(b.par.UserHistory)).
+		FieldsOn(UnitPretreatment, StreamUserAction, "user")
+	tb.SetBolt(UnitDB, NewDBBolt(b.state, p), b.par.get(b.par.DB)).
+		FieldsOn(UnitUserHistory, StreamGroupDelta, "group").
+		Tick(p.FlushInterval)
+
+	if b.feats.CF {
+		tb.SetBolt(UnitItemCount, NewItemCountBolt(b.state, p), b.par.get(b.par.ItemCount)).
+			FieldsOn(UnitUserHistory, StreamItemDelta, "item").
+			Tick(p.FlushInterval)
+		tb.SetBolt(UnitPairCount, NewPairCountBolt(b.state, p), b.par.get(b.par.PairCount)).
+			FieldsOn(UnitUserHistory, StreamPairDelta, "pair").
+			Tick(p.FlushInterval)
+		simSource := UnitPairCount
+		if p.Filter != nil {
+			tb.SetBolt(UnitFilter, NewFilterBolt(p), b.par.get(b.par.Storage)).
+				ShuffleOn(UnitPairCount, StreamSim)
+			simSource = UnitFilter
+		}
+		tb.SetBolt(UnitResultStorage, NewResultStorageBolt(b.state, p), b.par.get(b.par.Storage)).
+			FieldsOn(simSource, StreamSim, "item")
+	}
+
+	if b.feats.AR {
+		if !p.EnableAR {
+			return nil, fmt.Errorf("topology: Features.AR requires Params.EnableAR")
+		}
+		tb.SetBolt(UnitARItem, NewARItemBolt(b.state, p), b.par.get(b.par.AR)).
+			FieldsOn(UnitUserHistory, StreamARItem, "item")
+		tb.SetBolt(UnitAR, NewARBolt(b.state, p), b.par.get(b.par.AR)).
+			FieldsOn(UnitUserHistory, StreamARPair, "pair").
+			Tick(p.FlushInterval)
+		tb.SetBolt(UnitARList, NewARListBolt(b.state, p), b.par.get(b.par.AR)).
+			FieldsOn(UnitAR, StreamSim, "item")
+	}
+
+	if b.feats.CB {
+		if b.itemFeed != nil {
+			tb.SetSpout(UnitItemFeed, b.itemFeed, 1)
+			tb.SetBolt(UnitItemInfo, NewItemInfoBolt(b.state, p), b.par.get(b.par.CB)).
+				FieldsOn(UnitItemFeed, StreamItemInfo, "item")
+		}
+		tb.SetBolt(UnitCB, NewCBBolt(b.state, p), b.par.get(b.par.CB)).
+			FieldsOn(UnitPretreatment, StreamUserAction, "user")
+	}
+
+	if b.feats.Ctr {
+		tb.SetBolt(UnitCtrStore, NewCtrStoreBolt(b.state, p), b.par.get(b.par.Ctr)).
+			FieldsOn(UnitPretreatment, StreamAdEvent, "item")
+		tb.SetBolt(UnitCtr, NewCtrBolt(b.state, p), b.par.get(b.par.Ctr)).
+			FieldsOn(UnitCtrStore, "ctr_cell", "sit")
+	}
+
+	return tb.Build()
+}
+
+// UnitKind classifies the computation units of Fig. 6 along the paper's
+// two axes: application vs. algorithm, common vs. specific. Common units
+// are shared ("multiple applications share the common steps and multiple
+// algorithms share the statistical data"), which is what lets one
+// topology framework serve every production application.
+type UnitKind int
+
+const (
+	// ApplicationCommon units are shared processing steps, "such as the
+	// Pretreatment and the ResultStorage".
+	ApplicationCommon UnitKind = iota
+	// ApplicationSpecific units are unique to an application, "such as
+	// the Spout and FilterBolt".
+	ApplicationSpecific
+	// AlgorithmCommon units are statistics needed by several algorithms,
+	// "such as the ItemCount".
+	AlgorithmCommon
+	// AlgorithmSpecific units are one algorithm's own computation,
+	// "such as the CFBolt and ARBolt".
+	AlgorithmSpecific
+)
+
+// String names the unit kind.
+func (k UnitKind) String() string {
+	switch k {
+	case ApplicationCommon:
+		return "application-common"
+	case ApplicationSpecific:
+		return "application-specific"
+	case AlgorithmCommon:
+		return "algorithm-common"
+	case AlgorithmSpecific:
+		return "algorithm-specific"
+	}
+	return "unknown"
+}
+
+// UnitKinds maps every standard unit to its Fig. 6 classification.
+var UnitKinds = map[string]UnitKind{
+	UnitSpout:         ApplicationSpecific,
+	UnitItemFeed:      ApplicationSpecific,
+	UnitFilter:        ApplicationSpecific,
+	UnitPretreatment:  ApplicationCommon,
+	UnitResultStorage: ApplicationCommon,
+	UnitUserHistory:   AlgorithmCommon,
+	UnitItemCount:     AlgorithmCommon,
+	UnitPairCount:     AlgorithmCommon,
+	UnitItemInfo:      AlgorithmCommon,
+	UnitCtrStore:      AlgorithmCommon,
+	UnitARItem:        AlgorithmCommon,
+	UnitDB:            AlgorithmSpecific,
+	UnitAR:            AlgorithmSpecific,
+	UnitARList:        AlgorithmSpecific,
+	UnitCB:            AlgorithmSpecific,
+	UnitCtr:           AlgorithmSpecific,
+}

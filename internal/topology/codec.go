@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"tencentrec/internal/core"
+)
+
+// encodeFloat stores a float64 scalar (thresholds, scores).
+func encodeFloat(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+// decodeFloat reverses encodeFloat.
+func decodeFloat(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("topology: float value has %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// RawAction is the wire format applications publish into TDAccess: one
+// JSON object per user behaviour, optionally carrying the situation
+// dimensions the CTR algorithm needs.
+type RawAction struct {
+	User   string `json:"user"`
+	Item   string `json:"item"`
+	Action string `json:"action"`
+	// TS is the event time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	// Situation dimensions (optional; ads traffic).
+	Region   string `json:"region,omitempty"`
+	Gender   string `json:"gender,omitempty"`
+	Age      string `json:"age,omitempty"`
+	Position string `json:"position,omitempty"`
+}
+
+// EncodeAction serializes a raw action for TDAccess.
+func EncodeAction(a RawAction) []byte {
+	b, _ := json.Marshal(a) // struct of plain fields cannot fail
+	return b
+}
+
+// DecodeAction parses a TDAccess payload.
+func DecodeAction(b []byte) (RawAction, error) {
+	var a RawAction
+	if err := json.Unmarshal(b, &a); err != nil {
+		return RawAction{}, fmt.Errorf("topology: bad action payload: %w", err)
+	}
+	return a, nil
+}
+
+// Time returns the action's event time.
+func (a RawAction) Time() time.Time { return time.Unix(0, a.TS) }
+
+// State key prefixes. One flat TDStore namespace serves all bolts; the
+// prefixes keep the statistics of Fig. 6's units disjoint.
+const (
+	prefixUserHistory = "uh:"  // user -> rated items
+	prefixItemCount   = "ic:"  // item -> windowed Σ ratings (Eq. 6)
+	prefixPairCount   = "pc:"  // pair -> windowed Σ co-ratings (Eq. 7)
+	prefixPairN       = "pn:"  // pair -> Hoeffding observation count
+	prefixPruned      = "pl:"  // pair -> pruned flag (Algorithm 1's Li)
+	prefixThreshold   = "th:"  // item -> top-K list threshold
+	prefixSimilar     = "sl:"  // item -> similar-items list
+	prefixItemInfo    = "ii:"  // item -> content profile
+	prefixUserProfile = "up:"  // user -> CB term weights
+	prefixGroupCount  = "gc:"  // group|item -> windowed popularity
+	prefixHotList     = "hot:" // group -> hot-items list
+	prefixARPair      = "ap:"  // pair -> transaction co-occurrence count
+	prefixARItem      = "ai:"  // item -> transaction support
+	prefixARList      = "al:"  // item -> rule consequents by confidence
+	prefixCtrImp      = "cim:" // sit|item -> windowed impressions
+	prefixCtrClk      = "ccl:" // sit|item -> windowed clicks
+	prefixCtrTop      = "ctp:" // sit -> items by smoothed CTR
+)
+
+// pairID canonically encodes an item pair as a state key component.
+func pairID(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x1f" + b
+}
+
+// splitPair reverses pairID.
+func splitPair(id string) (string, string) {
+	i := strings.IndexByte(id, 0x1f)
+	if i < 0 {
+		return id, ""
+	}
+	return id[:i], id[i+1:]
+}
+
+// storedRating is one entry in a persisted user history.
+type storedRating struct {
+	Rating  float64 `json:"r"`
+	TS      int64   `json:"t"`
+	Session int64   `json:"s"`
+}
+
+// storedHistory is the persisted form of a user's behavior history.
+type storedHistory map[string]storedRating
+
+func encodeHistory(h storedHistory) []byte {
+	b, _ := json.Marshal(h)
+	return b
+}
+
+func decodeHistory(b []byte) (storedHistory, error) {
+	h := make(storedHistory)
+	if err := json.Unmarshal(b, &h); err != nil {
+		return nil, fmt.Errorf("topology: bad user history: %w", err)
+	}
+	return h, nil
+}
+
+// storedList is a persisted scored-item list (similar items, hot items,
+// AR consequents, CTR rankings), descending by score.
+type storedList []core.ScoredItem
+
+func encodeList(l storedList) []byte {
+	b, _ := json.Marshal(l)
+	return b
+}
+
+func decodeList(b []byte) (storedList, error) {
+	var l storedList
+	if err := json.Unmarshal(b, &l); err != nil {
+		return nil, fmt.Errorf("topology: bad scored list: %w", err)
+	}
+	return l, nil
+}
+
+// storedProfile is a persisted CB interest or item profile.
+type storedProfile struct {
+	Weights   map[string]float64 `json:"w"`
+	UpdatedTS int64              `json:"u,omitempty"`
+	Published int64              `json:"p,omitempty"`
+}
+
+func encodeProfile(p storedProfile) []byte {
+	b, _ := json.Marshal(p)
+	return b
+}
+
+func decodeProfile(b []byte) (storedProfile, error) {
+	var p storedProfile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return storedProfile{}, fmt.Errorf("topology: bad profile: %w", err)
+	}
+	return p, nil
+}
+
+// updateStoredList applies one (item, score) update to a bounded
+// descending list, returning the new list and its threshold (the k-th
+// score when full, else 0). This is ResultStorage's core operation.
+func updateStoredList(l storedList, item string, score float64, k int) (storedList, float64) {
+	// Remove any existing entry.
+	for i := range l {
+		if l[i].Item == item {
+			l = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	if score > 0 {
+		// Insert in descending order.
+		pos := len(l)
+		for i := range l {
+			if score > l[i].Score {
+				pos = i
+				break
+			}
+		}
+		l = append(l, core.ScoredItem{})
+		copy(l[pos+1:], l[pos:])
+		l[pos] = core.ScoredItem{Item: item, Score: score}
+		if len(l) > k {
+			l = l[:k]
+		}
+	}
+	if len(l) >= k && k > 0 {
+		return l, l[len(l)-1].Score
+	}
+	return l, 0
+}

@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"tencentrec/internal/core"
+	"tencentrec/internal/ctr"
+	"tencentrec/internal/demographic"
+)
+
+// Serving is the recommender engine of Fig. 9: it "accepts user queries
+// preprocessed by the front end and utilizes the computing results in
+// TDStore to generate the recommendation results". It is read-only over
+// the state the topology maintains and is safe for concurrent use when
+// the underlying State is.
+type Serving struct {
+	st State
+	p  Params
+}
+
+// NewServing returns a query engine over the topology's state.
+func NewServing(st State, p Params) *Serving {
+	return &Serving{st: st, p: p.withDefaults()}
+}
+
+// SimilarItems returns an item's current similar-items list.
+func (s *Serving) SimilarItems(item string, n int) ([]core.ScoredItem, error) {
+	return s.readList(prefixSimilar+item, n)
+}
+
+func (s *Serving) readList(key string, n int) ([]core.ScoredItem, error) {
+	raw, ok, err := s.st.Get(key)
+	if err != nil || !ok {
+		return nil, err
+	}
+	list, err := decodeList(raw)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && len(list) > n {
+		list = list[:n]
+	}
+	return list, nil
+}
+
+// history loads a user's stored behavior history.
+func (s *Serving) history(user string) (storedHistory, error) {
+	raw, ok, err := s.st.Get(prefixUserHistory + user)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return decodeHistory(raw)
+}
+
+// recentItems returns the user's RecentK most recent rated items.
+func (s *Serving) recentItems(hist storedHistory, now time.Time) []core.ScoredItem {
+	type ref struct {
+		item   string
+		rating float64
+		ts     int64
+	}
+	refs := make([]ref, 0, len(hist))
+	for item, r := range hist {
+		if s.p.LinkedTime > 0 && now.UnixNano()-r.TS > int64(s.p.LinkedTime) {
+			continue
+		}
+		refs = append(refs, ref{item, r.Rating, r.TS})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ts > refs[j].ts })
+	if len(refs) > s.p.RecentK {
+		refs = refs[:s.p.RecentK]
+	}
+	out := make([]core.ScoredItem, len(refs))
+	for i, r := range refs {
+		out[i] = core.ScoredItem{Item: r.item, Score: r.rating}
+	}
+	return out
+}
+
+// RecommendCF serves an item-based CF slate: Eq. 2 over the user's
+// recent-K items' similar lists, complemented by the user's demographic
+// hot list when CF candidates are missing or too weak (§4.3).
+func (s *Serving) RecommendCF(user string, now time.Time, n int, exclude map[string]bool) ([]core.ScoredItem, error) {
+	if n <= 0 {
+		n = 10
+	}
+	hist, err := s.history(user)
+	if err != nil {
+		return nil, err
+	}
+	type acc struct{ num, den float64 }
+	cand := make(map[string]*acc)
+	for _, recent := range s.recentItems(hist, now) {
+		list, err := s.readList(prefixSimilar+recent.Item, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range list {
+			if sc.Score < s.p.MinSimilarity {
+				continue
+			}
+			if _, rated := hist[sc.Item]; rated {
+				continue
+			}
+			if exclude[sc.Item] {
+				continue
+			}
+			a := cand[sc.Item]
+			if a == nil {
+				a = &acc{}
+				cand[sc.Item] = a
+			}
+			a.num += sc.Score * recent.Score
+			a.den += sc.Score
+		}
+	}
+	out := make([]core.ScoredItem, 0, len(cand))
+	for item, a := range cand {
+		if a.den <= 0 {
+			continue
+		}
+		out = append(out, core.ScoredItem{Item: item, Score: a.num / a.den})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	if len(out) < n {
+		hot, err := s.HotItems(user, n)
+		if err != nil {
+			return out, err
+		}
+		have := make(map[string]bool, len(out))
+		for _, sc := range out {
+			have[sc.Item] = true
+		}
+		for _, sc := range hot {
+			if len(out) >= n {
+				break
+			}
+			if have[sc.Item] || exclude[sc.Item] {
+				continue
+			}
+			if _, rated := hist[sc.Item]; rated {
+				continue
+			}
+			out = append(out, sc)
+			have[sc.Item] = true
+		}
+	}
+	return out, nil
+}
+
+// HotItems returns the user's demographic group hot list, falling back
+// to the global group.
+func (s *Serving) HotItems(user string, n int) ([]core.ScoredItem, error) {
+	group := s.p.groupOf(user)
+	list, err := s.readList(prefixHotList+group, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(list) == 0 && group != demographic.GlobalGroup {
+		return s.readList(prefixHotList+demographic.GlobalGroup, n)
+	}
+	return list, nil
+}
+
+// ARRecommend serves association-rule consequents for the user's recent
+// items, ranked by best confidence.
+func (s *Serving) ARRecommend(user string, now time.Time, n int) ([]core.ScoredItem, error) {
+	if n <= 0 {
+		n = 10
+	}
+	hist, err := s.history(user)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[string]float64)
+	for _, recent := range s.recentItems(hist, now) {
+		list, err := s.readList(prefixARList+recent.Item, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range list {
+			if _, rated := hist[r.Item]; rated {
+				continue
+			}
+			if r.Score > best[r.Item] {
+				best[r.Item] = r.Score
+			}
+		}
+	}
+	out := make([]core.ScoredItem, 0, len(best))
+	for item, conf := range best {
+		out = append(out, core.ScoredItem{Item: item, Score: conf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// TopAds returns the ad ranking for a situation, trying the narrowest
+// configured cuboid the context covers first.
+func (s *Serving) TopAds(cx ctr.Context, n int) ([]core.ScoredItem, error) {
+	cuboids := s.p.CtrCuboids
+	if cuboids == nil {
+		cuboids = []ctr.Cuboid{{}, {ctr.DimGender, ctr.DimAge}, {ctr.DimRegion, ctr.DimGender, ctr.DimAge}}
+	}
+	for i := len(cuboids) - 1; i >= 0; i-- {
+		if !cx.Covers(cuboids[i]) {
+			continue
+		}
+		list, err := s.readList(prefixCtrTop+cuboids[i].Key(cx), n)
+		if err != nil {
+			return nil, err
+		}
+		if len(list) > 0 {
+			return list, nil
+		}
+	}
+	return nil, nil
+}
+
+// RecommendCB scores the given candidate items against the user's stored
+// content profile. The candidate pool (e.g. today's fresh news) comes
+// from the application, as in production news serving.
+func (s *Serving) RecommendCB(user string, candidates []string, n int, exclude map[string]bool) ([]core.ScoredItem, error) {
+	if n <= 0 {
+		n = 10
+	}
+	raw, ok, err := s.st.Get(prefixUserProfile + user)
+	if err != nil || !ok {
+		return nil, err
+	}
+	prof, err := decodeProfile(raw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ScoredItem, 0, len(candidates))
+	for _, id := range candidates {
+		if exclude[id] {
+			continue
+		}
+		rawItem, ok, err := s.st.Get(prefixItemInfo + id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		ip, err := decodeProfile(rawItem)
+		if err != nil {
+			return nil, err
+		}
+		var score float64
+		for term, w := range ip.Weights {
+			score += w * prof.Weights[term]
+		}
+		if score > 0 {
+			out = append(out, core.ScoredItem{Item: id, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// PutItemProfile registers an item's content profile directly in state,
+// exactly as the ItemInfo bolt would: the path applications use to
+// register catalog metadata without routing it through the stream.
+func PutItemProfile(st State, id string, terms []string, published time.Time) error {
+	counts := make(map[string]float64)
+	for _, t := range terms {
+		counts[t]++
+	}
+	var norm float64
+	for _, c := range counts {
+		norm += c * c
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range counts {
+			counts[t] /= norm
+		}
+	}
+	return st.Put(prefixItemInfo+id, encodeProfile(storedProfile{Weights: counts, Published: published.UnixNano()}))
+}
+
+// UserRating exposes a user's current stored rating for an item.
+func (s *Serving) UserRating(user, item string) (float64, error) {
+	hist, err := s.history(user)
+	if err != nil || hist == nil {
+		return 0, err
+	}
+	return hist[item].Rating, nil
+}

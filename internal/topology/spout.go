@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"tencentrec/internal/stream"
+	"tencentrec/internal/tdaccess"
+)
+
+// rawFields is the default-stream schema every action spout emits:
+// the raw message bytes, parsed downstream by Pretreatment.
+var rawFields = stream.Fields{"raw"}
+
+// TDAccessSpout consumes an application's action topic from TDAccess and
+// feeds the topology — the production ingestion path of Fig. 9
+// ("TDProcess gets data streams from various applications with the help
+// of TDAccess").
+type TDAccessSpout struct {
+	broker *tdaccess.Broker
+	topic  string
+	group  string
+	// PollBatch bounds messages fetched per NextTuple. Default 256.
+	pollBatch int
+	// idleSleep throttles polling when the topic is drained.
+	idleSleep time.Duration
+	// stopWhenDrained makes NextTuple return false once the topic is
+	// empty — finite-run mode for tests and benches. Production spouts
+	// keep polling forever.
+	stopWhenDrained bool
+
+	c        stream.SpoutCollector
+	consumer *tdaccess.Consumer
+}
+
+// TDAccessSpoutConfig configures a TDAccessSpout factory.
+type TDAccessSpoutConfig struct {
+	Broker *tdaccess.Broker
+	Topic  string
+	// Group is the consumer group; parallel spout tasks in one group
+	// split the topic's partitions.
+	Group string
+	// StopWhenDrained ends the spout once the topic is empty.
+	StopWhenDrained bool
+	// PollBatch bounds messages per poll. Default 256.
+	PollBatch int
+	// IdleSleep throttles empty polls. Default 2ms.
+	IdleSleep time.Duration
+}
+
+// NewTDAccessSpout returns the spout factory.
+func NewTDAccessSpout(cfg TDAccessSpoutConfig) stream.SpoutFactory {
+	if cfg.PollBatch <= 0 {
+		cfg.PollBatch = 256
+	}
+	if cfg.IdleSleep <= 0 {
+		cfg.IdleSleep = 2 * time.Millisecond
+	}
+	return func() stream.Spout {
+		return &TDAccessSpout{
+			broker:          cfg.Broker,
+			topic:           cfg.Topic,
+			group:           cfg.Group,
+			pollBatch:       cfg.PollBatch,
+			idleSleep:       cfg.IdleSleep,
+			stopWhenDrained: cfg.StopWhenDrained,
+		}
+	}
+}
+
+// Open implements stream.Spout.
+func (s *TDAccessSpout) Open(_ stream.TopologyContext, c stream.SpoutCollector) error {
+	s.c = c
+	s.consumer = s.broker.NewConsumer(s.group)
+	if err := s.consumer.Subscribe(s.topic); err != nil {
+		return fmt.Errorf("topology: spout subscribe: %w", err)
+	}
+	return nil
+}
+
+// NextTuple implements stream.Spout.
+func (s *TDAccessSpout) NextTuple() bool {
+	msgs, err := s.consumer.Poll(s.pollBatch)
+	if err != nil {
+		// Data-server hiccup: back off and retry; TDAccess retains the
+		// data on disk.
+		time.Sleep(s.idleSleep)
+		return true
+	}
+	if len(msgs) == 0 {
+		if s.stopWhenDrained {
+			return false
+		}
+		time.Sleep(s.idleSleep)
+		return true
+	}
+	for _, m := range msgs {
+		s.c.Emit(stream.Values{m.Payload})
+	}
+	if err := s.consumer.Commit(); err != nil {
+		return true // retry the batch after a broker error
+	}
+	return true
+}
+
+// Close implements stream.Spout.
+func (s *TDAccessSpout) Close() {
+	if s.consumer != nil {
+		s.consumer.Unsubscribe()
+	}
+}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (s *TDAccessSpout) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{stream.DefaultStream: rawFields}
+}
+
+// SliceSpout replays a fixed slice of raw actions — the test and
+// benchmark ingestion path.
+type SliceSpout struct {
+	actions []RawAction
+	next    int
+	c       stream.SpoutCollector
+	task    int
+	tasks   int
+}
+
+// NewSliceSpout returns a spout factory replaying actions. With
+// parallelism n, task i replays the i-th residue class, so the full
+// slice is emitted exactly once across tasks.
+func NewSliceSpout(actions []RawAction) stream.SpoutFactory {
+	return func() stream.Spout { return &SliceSpout{actions: actions} }
+}
+
+// Open implements stream.Spout.
+func (s *SliceSpout) Open(ctx stream.TopologyContext, c stream.SpoutCollector) error {
+	s.c = c
+	s.task = ctx.TaskIndex
+	s.tasks = ctx.NumTasks
+	s.next = s.task
+	return nil
+}
+
+// NextTuple implements stream.Spout.
+func (s *SliceSpout) NextTuple() bool {
+	if s.next >= len(s.actions) {
+		return false
+	}
+	s.c.Emit(stream.Values{EncodeAction(s.actions[s.next])})
+	s.next += s.tasks
+	return true
+}
+
+// Close implements stream.Spout.
+func (s *SliceSpout) Close() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (s *SliceSpout) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{stream.DefaultStream: rawFields}
+}
+
+// ItemFeedSpout replays item metadata (for the CB chain's ItemInfo unit).
+type ItemFeedSpout struct {
+	items []ItemMeta
+	next  int
+	c     stream.SpoutCollector
+	task  int
+	tasks int
+}
+
+// ItemMeta is one item's content metadata.
+type ItemMeta struct {
+	ID        string
+	Terms     []string
+	Published time.Time
+}
+
+// NewItemFeedSpout returns a spout factory replaying item metadata on the
+// item_info stream.
+func NewItemFeedSpout(items []ItemMeta) stream.SpoutFactory {
+	return func() stream.Spout { return &ItemFeedSpout{items: items} }
+}
+
+// Open implements stream.Spout.
+func (s *ItemFeedSpout) Open(ctx stream.TopologyContext, c stream.SpoutCollector) error {
+	s.c = c
+	s.task = ctx.TaskIndex
+	s.tasks = ctx.NumTasks
+	s.next = s.task
+	return nil
+}
+
+// NextTuple implements stream.Spout.
+func (s *ItemFeedSpout) NextTuple() bool {
+	if s.next >= len(s.items) {
+		return false
+	}
+	it := s.items[s.next]
+	s.c.EmitTo(StreamItemInfo, stream.Values{it.ID, it.Terms, it.Published.UnixNano()})
+	s.next += s.tasks
+	return true
+}
+
+// Close implements stream.Spout.
+func (s *ItemFeedSpout) Close() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (s *ItemFeedSpout) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{StreamItemInfo: {"item", "terms", "published"}}
+}

@@ -1,0 +1,214 @@
+// Package topology implements TencentRec's topology framework (§5): the
+// spouts and bolts of Fig. 6, wired onto the stream engine, with all
+// status data held in TDStore so every computation unit is state-free and
+// crash-restartable (§3.3).
+//
+// The processing divides into the paper's three layers:
+//
+//   - preprocessing: an application Spout feeding a Pretreatment bolt
+//     that parses, filters and forwards action tuples;
+//   - algorithm: statistics units (UserHistory, ItemCount, PairCount,
+//     ItemInfo, CtrStore) decoupled from algorithm computation units
+//     (CFBolt — split here into PairCount+ResultStorage steps — CBBolt,
+//     DBBolt, ARBolt, CtrBolt);
+//   - storage: FilterBolt applying application-specific rules and
+//     ResultStorage persisting results for the query-serving engine.
+//
+// The §5 optimizations are built in: every stateful bolt fronts TDStore
+// with a fine-grained LRU cache (§5.2), counter updates flow through
+// interval-flushed combiners (§5.3) driven by tick tuples, and the
+// demographic statistics use the multi-hash regrouping of §5.4 (hash by
+// user first, then re-hash the rating deltas by group id).
+package topology
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tencentrec/internal/cache"
+	"tencentrec/internal/window"
+)
+
+// State is the status-data store contract bolts need: a strongly-typed
+// subset of the TDStore client. All implementations must be safe for
+// concurrent use (bolts on different tasks share one client).
+type State interface {
+	// Get returns the value stored under key.
+	Get(key string) ([]byte, bool, error)
+	// Put stores value under key.
+	Put(key string, value []byte) error
+}
+
+// memShards spreads MemState over independent locks, approximating the
+// parallel data servers a real TDStore cluster provides.
+const memShards = 32
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// MemState is an in-memory State for tests and single-process runs,
+// sharded so concurrent tasks do not serialize on one lock.
+type MemState struct {
+	shards [memShards]memShard
+
+	gets, puts atomic.Int64
+}
+
+// NewMemState returns an empty in-memory state.
+func NewMemState() *MemState {
+	s := &MemState{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *MemState) shard(key string) *memShard {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return &s.shards[h%memShards]
+}
+
+// Get implements State.
+func (s *MemState) Get(key string) ([]byte, bool, error) {
+	s.gets.Add(1)
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true, nil
+}
+
+// Put implements State.
+func (s *MemState) Put(key string, value []byte) error {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.m[key] = cp
+	sh.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// Ops returns the number of Get and Put calls served, for the cache and
+// combiner ablations (store-operation reduction is the metric §5.2/§5.3
+// argue about).
+func (s *MemState) Ops() (gets, puts int64) {
+	return s.gets.Load(), s.puts.Load()
+}
+
+// Len returns the number of stored keys.
+func (s *MemState) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// taskState is the per-task view of the store: an LRU cache in front of
+// State with write-through, per §5.2. Each bolt task owns one; fields
+// grouping guarantees the task is the only writer of its keys, which is
+// what makes the cache consistent.
+type taskState struct {
+	store State
+	cache *cache.Cache
+}
+
+func newTaskState(store State, cacheSize int) *taskState {
+	if cacheSize <= 0 {
+		// Cache disabled: read/write the store directly.
+		return &taskState{store: store}
+	}
+	return &taskState{store: store, cache: cache.New(store, cacheSize)}
+}
+
+func (ts *taskState) Get(key string) ([]byte, bool, error) {
+	if ts.cache == nil {
+		return ts.store.Get(key)
+	}
+	return ts.cache.Get(key)
+}
+
+// getForeign reads a key owned by another bolt's tasks, bypassing the
+// cache: only a key's single writer may cache it (§5.2's consistency
+// argument), so foreign reads always go to the store.
+func (ts *taskState) getForeign(key string) ([]byte, bool, error) {
+	return ts.store.Get(key)
+}
+
+func (ts *taskState) Put(key string, value []byte) error {
+	if ts.cache != nil {
+		ts.cache.Put(key, value)
+	}
+	return ts.store.Put(key, value)
+}
+
+// getCounter loads a windowed counter, returning a fresh one when absent.
+func (ts *taskState) getCounter(key string, w int) (*window.Counter, error) {
+	raw, ok, err := ts.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c := window.NewCounter(w)
+	if ok {
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// putCounter stores a windowed counter.
+func (ts *taskState) putCounter(key string, c *window.Counter) error {
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return ts.Put(key, raw)
+}
+
+// addCounter applies a delta to the stored counter and returns the new
+// windowed sum.
+func (ts *taskState) addCounter(key string, w int, session int64, delta float64) (float64, error) {
+	c, err := ts.getCounter(key, w)
+	if err != nil {
+		return 0, err
+	}
+	c.Add(session, delta)
+	if err := ts.putCounter(key, c); err != nil {
+		return 0, err
+	}
+	return c.Sum(session), nil
+}
+
+// readCounterSum returns a foreign counter's windowed sum without
+// modifying it, reading through to the store (the counter belongs to
+// another bolt, whose cache is the authoritative copy).
+func (ts *taskState) readCounterSum(key string, w int, session int64) (float64, error) {
+	raw, ok, err := ts.getForeign(key)
+	if err != nil {
+		return 0, err
+	}
+	c := window.NewCounter(w)
+	if ok {
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return 0, err
+		}
+	}
+	return c.Sum(session), nil
+}

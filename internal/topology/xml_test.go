@@ -1,0 +1,203 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"tencentrec/internal/ctr"
+	"tencentrec/internal/stream"
+)
+
+// fig7XML is the paper's example: a situational CTR topology with one
+// spout and four bolts ("An Example XML File and Storm Topology").
+const fig7XML = `
+<topology name="cf-test">
+  <spout name="spout" class="ActionSpout">
+    <output_fields>
+      <stream_id>default</stream_id>
+      <fields>raw</fields>
+    </output_fields>
+  </spout>
+  <bolts>
+    <bolt name="pretreatment" class="Pretreatment" parallelism="2">
+      <grouping type="shuffle">
+        <stream_id>default</stream_id>
+      </grouping>
+    </bolt>
+    <bolt name="ctrStore" class="CtrStore" parallelism="2">
+      <grouping type="field">
+        <fields>item</fields>
+        <stream_id>ad_event</stream_id>
+      </grouping>
+    </bolt>
+    <bolt name="ctrBolt" class="CtrBolt" parallelism="2">
+      <grouping type="field">
+        <fields>sit</fields>
+        <stream_id>ctr_cell</stream_id>
+      </grouping>
+    </bolt>
+    <bolt name="resultStorage" class="ResultStorage">
+      <grouping type="field">
+        <source>pretreatment</source>
+        <fields>user</fields>
+        <stream_id>user_action</stream_id>
+      </grouping>
+    </bolt>
+  </bolts>
+</topology>`
+
+func fig7Actions() []RawAction {
+	var out []RawAction
+	for i := 0; i < 30; i++ {
+		out = append(out, RawAction{
+			User: "u", Item: "ad-1", Action: "impression",
+			Gender: "m", Age: "20-30", Region: "beijing",
+			TS: t0.Add(time.Duration(i) * time.Second).UnixNano(),
+		})
+		if i < 15 {
+			out = append(out, RawAction{
+				User: "u", Item: "ad-1", Action: "ad_click",
+				Gender: "m", Age: "20-30", Region: "beijing",
+				TS: t0.Add(time.Duration(i) * time.Second).UnixNano(),
+			})
+		}
+	}
+	return out
+}
+
+func TestLoadXMLBuildsFig7Topology(t *testing.T) {
+	st := NewMemState()
+	p := Params{WindowSessions: -1}
+	reg := NewRegistry(st, p)
+	reg.Spouts["ActionSpout"] = NewSliceSpout(fig7Actions())
+
+	topo, err := LoadXML(strings.NewReader(fig7XML), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != "cf-test" {
+		t.Fatalf("name = %q", topo.Name)
+	}
+	comps := topo.Components()
+	if len(comps) != 5 {
+		t.Fatalf("components = %v, want 1 spout + 4 bolts", comps)
+	}
+	if topo.Parallelism("ctrStore") != 2 || topo.Parallelism("resultStorage") != 1 {
+		t.Fatalf("parallelism not honoured")
+	}
+	if _, err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The CTR chain must have produced a ranking.
+	srv := NewServing(st, p)
+	top, err := srv.TopAds(ctr.Context{Gender: "m", AgeGroup: "20-30", Region: "beijing"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Item != "ad-1" {
+		t.Fatalf("TopAds after XML topology run = %v", top)
+	}
+}
+
+func TestLoadXMLErrors(t *testing.T) {
+	st := NewMemState()
+	reg := NewRegistry(st, Params{})
+	reg.Spouts["ActionSpout"] = NewSliceSpout(nil)
+	cases := []struct {
+		name, xml string
+	}{
+		{"malformed", "<topology"},
+		{"no name", `<topology><spout name="s" class="ActionSpout"/><bolts/></topology>`},
+		{"unknown spout class", `<topology name="t"><spout name="s" class="Nope"/><bolts/></topology>`},
+		{"unknown bolt class", `<topology name="t"><spout name="s" class="ActionSpout"/><bolts><bolt name="b" class="Nope"><grouping type="shuffle"/></bolt></bolts></topology>`},
+		{"no groupings", `<topology name="t"><spout name="s" class="ActionSpout"/><bolts><bolt name="b" class="Pretreatment"/></bolts></topology>`},
+		{"bad grouping type", `<topology name="t"><spout name="s" class="ActionSpout"/><bolts><bolt name="b" class="Pretreatment"><grouping type="psychic"/></bolt></bolts></topology>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadXML(strings.NewReader(c.xml), reg); err == nil {
+				t.Fatal("LoadXML succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	got := splitFields("user, item, action")
+	want := stream.Fields{"user", "item", "action"}
+	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Fatalf("splitFields = %v", got)
+	}
+	if out := splitFields(" "); len(out) != 0 {
+		t.Fatalf("splitFields(blank) = %v", out)
+	}
+}
+
+func TestLoadXMLFullCFTopologyEndToEnd(t *testing.T) {
+	// The complete Fig. 6 CF wiring expressed in Fig. 7's XML format:
+	// loading it and running real actions through it must produce the
+	// same counters as the library engine.
+	f, err := os.Open("testdata/cf-topology.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	actions := genActions(71, 1000, 25, 20)
+	st := NewMemState()
+	p := Params{FlushInterval: time.Hour}
+	reg := NewRegistry(st, p)
+	reg.Spouts["ActionSpout"] = NewSliceSpout(actions)
+	topo, err := LoadXML(f, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Parallelism("userHistory") != 3 {
+		t.Fatalf("parallelism not applied: %d", topo.Parallelism("userHistory"))
+	}
+	if _, err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cf := libEngine(p.withDefaults(), actions)
+	now := time.Unix(0, actions[len(actions)-1].TS)
+	for i := 0; i < 20; i++ {
+		item := fmt.Sprintf("i%d", i)
+		got := readStateCounter(t, st, prefixItemCount+item, 0, 0)
+		want := cf.ItemCount(item, now)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("XML topology itemCount(%s) = %v, library %v", item, got, want)
+		}
+	}
+	srv := NewServing(st, p)
+	list, err := srv.SimilarItems("i0", 3)
+	if err != nil || len(list) == 0 {
+		t.Fatalf("XML topology produced no similar lists: %v %v", list, err)
+	}
+}
+
+func TestUnitKindsCoverAllUnits(t *testing.T) {
+	for _, unit := range []string{
+		UnitSpout, UnitItemFeed, UnitPretreatment, UnitUserHistory,
+		UnitItemCount, UnitPairCount, UnitFilter, UnitResultStorage,
+		UnitDB, UnitARItem, UnitAR, UnitARList, UnitItemInfo, UnitCB,
+		UnitCtrStore, UnitCtr,
+	} {
+		if _, ok := UnitKinds[unit]; !ok {
+			t.Fatalf("unit %q has no Fig. 6 classification", unit)
+		}
+	}
+	kinds := map[UnitKind]bool{}
+	for _, k := range UnitKinds {
+		kinds[k] = true
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("expected all four Fig. 6 kinds in use, got %d", len(kinds))
+	}
+}

@@ -1,0 +1,57 @@
+package window
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// counterMagic guards against decoding foreign bytes as a counter.
+const counterMagic = 0xC7
+
+// MarshalBinary encodes the counter state for storage in TDStore, where
+// the pipeline's stateless bolts keep their windowed counts (§3.3).
+func (c *Counter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 2+4+8+8+1+8*len(c.ring))
+	buf = append(buf, counterMagic, 1) // magic, version
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.w))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.base))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.total))
+	if c.init {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, v := range c.ring {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a counter encoded by MarshalBinary.
+func (c *Counter) UnmarshalBinary(data []byte) error {
+	if len(data) < 23 || data[0] != counterMagic || data[1] != 1 {
+		return fmt.Errorf("window: bad counter encoding (%d bytes)", len(data))
+	}
+	w := int(binary.LittleEndian.Uint32(data[2:6]))
+	base := int64(binary.LittleEndian.Uint64(data[6:14]))
+	total := math.Float64frombits(binary.LittleEndian.Uint64(data[14:22]))
+	init := data[22] == 1
+	rest := data[23:]
+	if w < 0 || (w > 0 && len(rest) != 8*w) {
+		return fmt.Errorf("window: counter encoding has %d ring bytes, want %d", len(rest), 8*w)
+	}
+	c.w = w
+	c.base = base
+	c.total = total
+	c.init = init
+	if w > 0 {
+		c.ring = make([]float64, w)
+		for i := range c.ring {
+			c.ring[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+	} else {
+		c.ring = nil
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestWorldIsReproducible(t *testing.T) {
+	mk := func() *World { return NewWorld(Config{Seed: 7, Users: 50, Items: 40}) }
+	a, b := mk(), mk()
+	for i := range a.Users {
+		ua, ub := a.Users[i], b.Users[i]
+		if ua.ID != ub.ID || ua.Profile != ub.Profile || ua.Activity != ub.Activity {
+			t.Fatalf("user %d differs between identically-seeded worlds", i)
+		}
+		for j := range ua.Prefs {
+			if ua.Prefs[j] != ub.Prefs[j] {
+				t.Fatalf("user %d prefs differ", i)
+			}
+		}
+	}
+	for i := range a.Items {
+		ia, ib := a.Items[i], b.Items[i]
+		if ia.ID != ib.ID || ia.Topic != ib.Topic || ia.Price != ib.Price {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestPrefsAreDistribution(t *testing.T) {
+	w := NewWorld(Config{Seed: 1, Users: 100, Items: 10})
+	for _, u := range w.Users {
+		var sum float64
+		for _, p := range u.Prefs {
+			if p < 0 {
+				t.Fatalf("negative preference for %s", u.ID)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("prefs of %s sum to %v", u.ID, sum)
+		}
+	}
+}
+
+func TestClickProbBounds(t *testing.T) {
+	w := NewWorld(Config{Seed: 2, Users: 30, Items: 30, BaseClickRate: 0.5})
+	now := t0
+	for _, u := range w.Users {
+		for _, it := range w.Items {
+			p := w.ClickProb(u, it, now)
+			if p < 0 || p > 0.95 {
+				t.Fatalf("ClickProb = %v out of bounds", p)
+			}
+		}
+	}
+}
+
+func TestClickProbPrefersOwnTopic(t *testing.T) {
+	w := NewWorld(Config{Seed: 3, Users: 1, Items: 0, PrefSharpness: 20})
+	u := w.Users[0]
+	// Force a deterministic single-topic user.
+	for i := range u.Prefs {
+		u.Prefs[i] = 0
+	}
+	u.Prefs[2] = 1
+	match := &Item{Topic: 2, Quality: 1}
+	miss := &Item{Topic: 3, Quality: 1}
+	if w.ClickProb(u, match, t0) <= w.ClickProb(u, miss, t0) {
+		t.Fatal("in-topic item not preferred")
+	}
+}
+
+func TestDriftShiftsPreferences(t *testing.T) {
+	w := NewWorld(Config{Seed: 4, Users: 1, Items: 0})
+	u := w.Users[0]
+	before := append([]float64(nil), u.Prefs...)
+	w.Drift(u, 0.9)
+	var sum, moved float64
+	for i, p := range u.Prefs {
+		sum += p
+		moved += math.Abs(p - before[i])
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("prefs after drift sum to %v", sum)
+	}
+	if moved < 0.5 {
+		t.Fatalf("drift barely moved preferences (%v)", moved)
+	}
+}
+
+func TestFreshnessDecay(t *testing.T) {
+	w := NewWorld(Config{Seed: 5, Users: 1, Items: 0, FreshnessHalfLife: time.Hour})
+	u := w.Users[0]
+	it := w.SpawnItem(t0)
+	fresh := w.ClickProb(u, it, t0)
+	stale := w.ClickProb(u, it, t0.Add(3*time.Hour))
+	if stale >= fresh {
+		t.Fatalf("freshness decay missing: fresh=%v stale=%v", fresh, stale)
+	}
+	// Evergreen items (zero Published) do not decay.
+	ever := w.SpawnItem(time.Time{})
+	if w.ClickProb(u, ever, t0) != w.ClickProb(u, ever, t0.Add(100*time.Hour)) {
+		t.Fatal("evergreen item decayed")
+	}
+}
+
+func TestExpireOlderThan(t *testing.T) {
+	w := NewWorld(Config{Seed: 6, Users: 1, Items: 0})
+	old := w.SpawnItem(t0)
+	fresh := w.SpawnItem(t0.Add(48 * time.Hour))
+	ever := w.SpawnItem(time.Time{})
+	w.ExpireOlderThan(t0.Add(24 * time.Hour))
+	if _, ok := w.ByID[old.ID]; ok {
+		t.Fatal("expired item still present")
+	}
+	if _, ok := w.ByID[fresh.ID]; !ok {
+		t.Fatal("fresh item removed")
+	}
+	if _, ok := w.ByID[ever.ID]; !ok {
+		t.Fatal("evergreen item removed")
+	}
+	if len(w.Items) != 2 {
+		t.Fatalf("Items = %d, want 2", len(w.Items))
+	}
+}
+
+func TestDemographicBiasCorrelatesGroups(t *testing.T) {
+	w := NewWorld(Config{Seed: 7, Users: 400, Items: 0, DemographicBias: 1.0, PrefSharpness: 1})
+	// Average preference vectors per (gender, age) group must differ
+	// more across groups than random noise would allow.
+	groups := make(map[string][]float64)
+	counts := make(map[string]int)
+	for _, u := range w.Users {
+		key := u.Profile.Gender + "|" + u.Profile.AgeGroup
+		if groups[key] == nil {
+			groups[key] = make([]float64, len(u.Prefs))
+		}
+		for i, p := range u.Prefs {
+			groups[key][i] += p
+		}
+		counts[key]++
+	}
+	var maxSpread float64
+	for key, sums := range groups {
+		n := float64(counts[key])
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range sums {
+			m := s / n
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		maxSpread = math.Max(maxSpread, hi-lo)
+		_ = key
+	}
+	if maxSpread < 0.05 {
+		t.Fatalf("demographic bias produced no group structure (spread %v)", maxSpread)
+	}
+}
+
+func TestSampleIndexProperty(t *testing.T) {
+	w := NewWorld(Config{Seed: 8, Users: 1, Items: 5})
+	f := func(seed int16) bool {
+		u := w.Users[0]
+		it := w.SampleItemByPrefs(u)
+		_, ok := w.ByID[it.ID]
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

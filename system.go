@@ -1,0 +1,285 @@
+package tencentrec
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"tencentrec/internal/core"
+	"tencentrec/internal/ctr"
+	"tencentrec/internal/stream"
+	"tencentrec/internal/tdaccess"
+	"tencentrec/internal/tdstore"
+	"tencentrec/internal/tdstore/engine"
+	"tencentrec/internal/tdstore/engine/fdb"
+	"tencentrec/internal/tdstore/engine/ldb"
+	"tencentrec/internal/topology"
+)
+
+// storeEngineFactory maps a StoreEngine name to a per-instance engine
+// constructor. Durable engines get one directory per (server, instance)
+// so replicas never share files.
+func storeEngineFactory(name, dir string) (func(string, tdstore.InstanceID) (engine.Engine, error), error) {
+	switch name {
+	case "", "mdb":
+		return nil, nil // cluster default: in-memory MDB
+	case "ldb":
+		return func(serverID string, inst tdstore.InstanceID) (engine.Engine, error) {
+			return ldb.Open(filepath.Join(dir, serverID, fmt.Sprintf("inst-%d", inst)), ldb.Options{})
+		}, nil
+	case "fdb":
+		return func(serverID string, inst tdstore.InstanceID) (engine.Engine, error) {
+			return fdb.Open(filepath.Join(dir, serverID, fmt.Sprintf("inst-%d", inst)))
+		}, nil
+	}
+	return nil, fmt.Errorf("tencentrec: unknown store engine %q (mdb, ldb or fdb)", name)
+}
+
+// SystemConfig configures a full TencentRec deployment.
+type SystemConfig struct {
+	// DataDir is the root directory for TDAccess partition logs.
+	// Required.
+	DataDir string
+	// Topic is the TDAccess topic actions are published to.
+	// Default "user-actions".
+	Topic string
+	// BrokerPartitions is the action topic's partition count. Default 4.
+	BrokerPartitions int
+	// StoreServers, StoreInstances and StoreReplicas shape the TDStore
+	// cluster. Defaults 3, 16 and 1.
+	StoreServers, StoreInstances, StoreReplicas int
+	// StoreEngine selects the TDStore storage engine: "mdb" (in-memory,
+	// default), "ldb" (log-structured, durable) or "fdb" (file buckets,
+	// durable). Durable engines persist under DataDir/tdstore.
+	StoreEngine string
+	// Params configures the algorithms. Zero value uses defaults.
+	Params Params
+	// Features selects the algorithm chains. Zero value enables CF
+	// (plus the always-on DB complement).
+	Features Features
+	// Parallelism sets per-unit task counts. Zero fields mean 1.
+	Parallelism Parallelism
+}
+
+func (c SystemConfig) withDefaults() SystemConfig {
+	if c.Topic == "" {
+		c.Topic = "user-actions"
+	}
+	if c.BrokerPartitions <= 0 {
+		c.BrokerPartitions = 4
+	}
+	if c.StoreServers <= 0 {
+		c.StoreServers = 3
+	}
+	if c.StoreInstances <= 0 {
+		c.StoreInstances = 16
+	}
+	if c.StoreReplicas <= 0 {
+		c.StoreReplicas = 1
+	}
+	if !c.Features.CF && !c.Features.AR && !c.Features.CB && !c.Features.Ctr {
+		c.Features.CF = true
+	}
+	return c
+}
+
+// System is a running TencentRec deployment (Fig. 9): TDAccess feeding
+// the stream topology, TDStore holding status data, and the serving
+// engine answering queries. Build one with Open; stop it with Close.
+type System struct {
+	cfg      SystemConfig
+	broker   *tdaccess.Broker
+	cluster  *tdstore.Cluster
+	client   *tdstore.Client
+	producer *tdaccess.Producer
+	topo     *stream.Topology
+	running  *stream.RunningTopology
+	serving  *topology.Serving
+
+	published atomic.Int64
+}
+
+// Open builds and starts a System. The topology runs until Close.
+func Open(cfg SystemConfig) (*System, error) {
+	c := cfg.withDefaults()
+	broker, err := tdaccess.NewBroker(tdaccess.Options{
+		Dir:        c.DataDir,
+		Partitions: c.BrokerPartitions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tencentrec: open broker: %w", err)
+	}
+	engineFactory, err := storeEngineFactory(c.StoreEngine, filepath.Join(c.DataDir, "tdstore"))
+	if err != nil {
+		broker.Close()
+		return nil, err
+	}
+	cluster, err := tdstore.NewCluster(tdstore.Options{
+		DataServers: c.StoreServers,
+		Instances:   c.StoreInstances,
+		Replicas:    c.StoreReplicas,
+		Engine:      engineFactory,
+	})
+	if err != nil {
+		broker.Close()
+		return nil, fmt.Errorf("tencentrec: open store: %w", err)
+	}
+	client, err := cluster.NewClient()
+	if err != nil {
+		broker.Close()
+		cluster.Close()
+		return nil, fmt.Errorf("tencentrec: store client: %w", err)
+	}
+	spout := topology.NewTDAccessSpout(topology.TDAccessSpoutConfig{
+		Broker: broker,
+		Topic:  c.Topic,
+		Group:  "tencentrec",
+	})
+	topo, err := topology.NewBuilder("tencentrec", spout, client, c.Params).
+		WithFeatures(c.Features).
+		WithParallelism(c.Parallelism).
+		Build()
+	if err != nil {
+		broker.Close()
+		cluster.Close()
+		return nil, fmt.Errorf("tencentrec: build topology: %w", err)
+	}
+	s := &System{
+		cfg:      c,
+		broker:   broker,
+		cluster:  cluster,
+		client:   client,
+		producer: broker.NewProducer(),
+		topo:     topo,
+		serving:  topology.NewServing(client, c.Params),
+	}
+	s.running = topo.Submit()
+	return s, nil
+}
+
+// Publish sends one action into the pipeline, keyed by user so per-user
+// order is preserved.
+func (s *System) Publish(a RawAction) error {
+	if _, _, err := s.producer.Send(s.cfg.Topic, a.User, topology.EncodeAction(a)); err != nil {
+		return err
+	}
+	s.published.Add(1)
+	return nil
+}
+
+// AddItem registers an item's content metadata for the CB chain and the
+// serving engine.
+func (s *System) AddItem(id string, terms []string, published time.Time) error {
+	return topology.PutItemProfile(s.client, id, terms, published)
+}
+
+// Drain blocks until every published action has been consumed and
+// processed (including combiner flush intervals), or the timeout
+// elapses. Use it in tests and batch loads; live deployments simply
+// query whenever, accepting sub-second staleness.
+func (s *System) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	flush := s.cfg.Params.FlushInterval
+	if flush <= 0 {
+		flush = 100 * time.Millisecond
+	}
+	for {
+		m := s.running.Metrics()
+		consumed := m.Components[topology.UnitSpout].Emitted
+		if consumed >= s.published.Load() {
+			// All raw messages are in the topology; give the combiners
+			// three flush intervals: combiner flush, similarity recheck, storage.
+			time.Sleep(3*flush + 30*time.Millisecond)
+			s.cluster.WaitSync()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tencentrec: drain timed out with %d/%d consumed",
+				consumed, s.published.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Recommend serves the user's CF slate with the DB complement.
+func (s *System) Recommend(user string, n int) ([]ScoredItem, error) {
+	return s.serving.RecommendCF(user, time.Now(), n, nil)
+}
+
+// RecommendAt is Recommend with an explicit query time (replay and
+// simulation use).
+func (s *System) RecommendAt(user string, now time.Time, n int) ([]ScoredItem, error) {
+	return s.serving.RecommendCF(user, now, n, nil)
+}
+
+// SimilarItems returns an item's similar-items list.
+func (s *System) SimilarItems(item string, n int) ([]ScoredItem, error) {
+	return s.serving.SimilarItems(item, n)
+}
+
+// HotItems returns the demographic hot list backing the user.
+func (s *System) HotItems(user string, n int) ([]ScoredItem, error) {
+	return s.serving.HotItems(user, n)
+}
+
+// TopAds returns the ad ranking for a situation (the CTR chain).
+func (s *System) TopAds(cx AdContext, n int) ([]ScoredItem, error) {
+	return s.serving.TopAds(cx, n)
+}
+
+// RecommendCB scores candidate items against the user's content profile
+// (the CB chain).
+func (s *System) RecommendCB(user string, candidates []string, n int) ([]ScoredItem, error) {
+	return s.serving.RecommendCB(user, candidates, n, nil)
+}
+
+// ARRecommend serves association-rule consequents (the AR chain).
+func (s *System) ARRecommend(user string, n int) ([]ScoredItem, error) {
+	return s.serving.ARRecommend(user, time.Now(), n)
+}
+
+// Metrics returns a snapshot of the topology metrics (the monitor view).
+func (s *System) Metrics() *stream.MetricsSnapshot { return s.running.Metrics() }
+
+// KillStoreServer fails a TDStore data server; a slave is promoted and
+// service continues (§3.3). For fault-tolerance demonstrations.
+func (s *System) KillStoreServer(id string) error { return s.cluster.KillDataServer(id) }
+
+// RestartTask crash-restarts one topology task (§3.1's stateless worker
+// recovery). For fault-tolerance demonstrations.
+func (s *System) RestartTask(component string, index int) error {
+	return s.running.RestartTask(component, index)
+}
+
+// Close stops the topology and releases the broker and store.
+func (s *System) Close() error {
+	s.running.Stop()
+	s.running.Wait()
+	var first error
+	if err := s.broker.Close(); err != nil {
+		first = err
+	}
+	if err := s.cluster.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// NewAdContext is a convenience constructor for TopAds queries.
+func NewAdContext(region, gender, ageGroup string) AdContext {
+	return ctr.Context{Region: region, Gender: gender, AgeGroup: ageGroup}
+}
+
+// NewAction builds an Action for the embedded Recommender.
+func NewAction(user, item string, t ActionType, at time.Time) Action {
+	return core.Action{User: user, Item: item, Type: t, Time: at}
+}
+
+// SuggestParallelism implements the paper's first item of future work
+// (§7): it calibrates per-unit service demands by replaying a sample of
+// real traffic and returns task counts sized for the target ingest rate.
+// maxTasks bounds any unit (0 = the machine's core count).
+func SuggestParallelism(sample []RawAction, p Params, feats Features, targetRate float64, maxTasks int) (Parallelism, error) {
+	return topology.SuggestParallelism(sample, p, feats, targetRate, maxTasks)
+}

@@ -1,0 +1,258 @@
+package tencentrec
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2015, 5, 31, 9, 0, 0, 0, time.UTC)
+
+func publishCluster(t *testing.T, s *System) {
+	t.Helper()
+	// Users who play video A also play video B; C stands alone.
+	for u := 0; u < 12; u++ {
+		user := fmt.Sprintf("u%d", u)
+		if err := s.Publish(RawAction{User: user, Item: "video-A", Action: "play", TS: t0.Add(time.Duration(u) * time.Minute).UnixNano()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Publish(RawAction{User: user, Item: "video-B", Action: "play", TS: t0.Add(time.Duration(u)*time.Minute + time.Second).UnixNano()}); err != nil {
+			t.Fatal(err)
+		}
+		if u < 3 {
+			s.Publish(RawAction{User: user, Item: "video-C", Action: "play", TS: t0.Add(time.Duration(u)*time.Minute + 2*time.Second).UnixNano()})
+		}
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	s, err := Open(SystemConfig{
+		DataDir: t.TempDir(),
+		Params:  Params{FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	publishCluster(t, s)
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sims, err := s.SimilarItems("video-A", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) == 0 || sims[0].Item != "video-B" {
+		t.Fatalf("SimilarItems(video-A) = %v, want video-B first", sims)
+	}
+
+	// A user who only played A gets B recommended.
+	s.Publish(RawAction{User: "newcomer", Item: "video-A", Action: "play", TS: t0.Add(time.Hour).UnixNano()})
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.RecommendAt("newcomer", t0.Add(time.Hour+time.Minute), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Item != "video-B" {
+		t.Fatalf("Recommend(newcomer) = %v, want video-B first", recs)
+	}
+
+	// Hot items back cold users.
+	hot, err := s.HotItems("total-stranger", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 {
+		t.Fatal("no hot items for cold user")
+	}
+
+	m := s.Metrics()
+	if m.Components["userHistory"].Executed == 0 {
+		t.Fatal("metrics show no pipeline activity")
+	}
+}
+
+func TestSystemSurvivesStoreFailover(t *testing.T) {
+	s, err := Open(SystemConfig{
+		DataDir:       t.TempDir(),
+		StoreReplicas: 2,
+		Params:        Params{FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	publishCluster(t, s)
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.SimilarItems("video-A", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillStoreServer("ds-0"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.SimilarItems("video-A", 3)
+	if err != nil {
+		t.Fatalf("query after failover: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("failover lost results: %d vs %d", len(after), len(before))
+	}
+}
+
+func TestSystemTaskRestart(t *testing.T) {
+	s, err := Open(SystemConfig{
+		DataDir: t.TempDir(),
+		Params:  Params{FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	publishCluster(t, s)
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the user-history worker; state lives in TDStore, so
+	// processing continues correctly with a fresh instance.
+	if err := s.RestartTask("userHistory", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(RawAction{User: "u0", Item: "video-C", Action: "play", TS: t0.Add(2 * time.Hour).UnixNano()})
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sims, err := s.SimilarItems("video-C", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) == 0 {
+		t.Fatal("no similarity results after task restart")
+	}
+}
+
+func TestSystemCBAndCtrChains(t *testing.T) {
+	s, err := Open(SystemConfig{
+		DataDir:  t.TempDir(),
+		Features: Features{CF: true, CB: true, Ctr: true},
+		Params:   Params{FlushInterval: 20 * time.Millisecond, WindowSessions: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.AddItem("sports-news", []string{"football", "goal"}, t0); err != nil {
+		t.Fatal(err)
+	}
+	s.AddItem("sports-news-2", []string{"football", "match"}, t0)
+	s.AddItem("tech-news", []string{"chip", "cpu"}, t0)
+
+	s.Publish(RawAction{User: "reader", Item: "sports-news", Action: "read", TS: t0.UnixNano()})
+	for i := 0; i < 30; i++ {
+		ts := t0.Add(time.Duration(i) * time.Second).UnixNano()
+		s.Publish(RawAction{User: "x", Item: "ad-good", Action: "impression", Gender: "m", Age: "20-30", Region: "beijing", TS: ts})
+		s.Publish(RawAction{User: "x", Item: "ad-bad", Action: "impression", Gender: "m", Age: "20-30", Region: "beijing", TS: ts})
+		if i < 15 {
+			s.Publish(RawAction{User: "x", Item: "ad-good", Action: "ad_click", Gender: "m", Age: "20-30", Region: "beijing", TS: ts})
+		}
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cb, err := s.RecommendCB("reader", []string{"sports-news-2", "tech-news"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb) == 0 || cb[0].Item != "sports-news-2" {
+		t.Fatalf("RecommendCB = %v, want sports-news-2 first", cb)
+	}
+
+	ads, err := s.TopAds(NewAdContext("beijing", "m", "20-30"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) == 0 || ads[0].Item != "ad-good" {
+		t.Fatalf("TopAds = %v, want ad-good first", ads)
+	}
+}
+
+func TestNewRecommenderDirectUse(t *testing.T) {
+	rec := NewRecommender(RecommenderConfig{})
+	for u := 0; u < 5; u++ {
+		user := fmt.Sprintf("u%d", u)
+		rec.Observe(NewAction(user, "a", ActionPurchase, t0))
+		rec.Observe(NewAction(user, "b", ActionPurchase, t0.Add(time.Second)))
+	}
+	rec.Observe(NewAction("x", "a", ActionPurchase, t0.Add(time.Minute)))
+	recs := rec.Recommend("x", t0.Add(2*time.Minute), RecommendOptions{N: 3})
+	if len(recs) == 0 || recs[0].Item != "b" {
+		t.Fatalf("direct recommender = %v, want b", recs)
+	}
+}
+
+func TestSystemWithDurableEngines(t *testing.T) {
+	for _, engine := range []string{"ldb", "fdb"} {
+		t.Run(engine, func(t *testing.T) {
+			s, err := Open(SystemConfig{
+				DataDir:     t.TempDir(),
+				StoreEngine: engine,
+				Params:      Params{FlushInterval: 20 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			publishCluster(t, s)
+			if err := s.Drain(15 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			sims, err := s.SimilarItems("video-A", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sims) == 0 || sims[0].Item != "video-B" {
+				t.Fatalf("%s engine: SimilarItems = %v", engine, sims)
+			}
+		})
+	}
+	if _, err := Open(SystemConfig{DataDir: t.TempDir(), StoreEngine: "bogus"}); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestSystemARChain(t *testing.T) {
+	s, err := Open(SystemConfig{
+		DataDir:  t.TempDir(),
+		Features: Features{AR: true},
+		Params:   Params{FlushInterval: 20 * time.Millisecond, EnableAR: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for u := 0; u < 6; u++ {
+		user := fmt.Sprintf("u%d", u)
+		ts := t0.Add(time.Duration(u) * time.Minute)
+		s.Publish(RawAction{User: user, Item: "bread", Action: "purchase", TS: ts.UnixNano()})
+		s.Publish(RawAction{User: user, Item: "butter", Action: "purchase", TS: ts.Add(time.Second).UnixNano()})
+	}
+	s.Publish(RawAction{User: "x", Item: "bread", Action: "purchase", TS: t0.Add(time.Hour).UnixNano()})
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.serving.ARRecommend("x", t0.Add(time.Hour+time.Minute), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Item != "butter" {
+		t.Fatalf("ARRecommend = %v, want butter", recs)
+	}
+}
