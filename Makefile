@@ -1,0 +1,15 @@
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs the hygiene gate: vet, gofmt, and race tests on the
+# packages that share mutable state across goroutines.
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -run=NONE -bench=. -benchtime=10000x .

@@ -17,6 +17,13 @@ type Store interface {
 	Get(key string) ([]byte, bool, error)
 }
 
+// BatchStore is the optional batched read contract of a backing store.
+// When the store provides it, cache misses of a multi-key lookup are
+// fetched in one round trip instead of key-by-key.
+type BatchStore interface {
+	BatchGet(keys []string) ([][]byte, []bool, error)
+}
+
 // Cache is an LRU key-value cache in front of a Store.
 // It is not safe for concurrent use; each pipeline task owns one,
 // which is exactly the single-writer discipline §5.2 relies on.
@@ -66,6 +73,57 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 	}
 	c.insert(key, v)
 	return v, true, nil
+}
+
+// GetBatch returns the values for keys, serving hits from the cache and
+// fetching every miss from the backing store in one batched read when
+// the store supports BatchStore. Fetched values are cached, exactly as
+// single-key Get does.
+func (c *Cache) GetBatch(keys []string) ([][]byte, []bool, error) {
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	var missKeys []string
+	var missPos []int
+	for i, k := range keys {
+		if el, ok := c.entries[k]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			vals[i], found[i] = el.Value.(*entry).value, true
+			continue
+		}
+		c.misses++
+		if c.store != nil {
+			missKeys = append(missKeys, k)
+			missPos = append(missPos, i)
+		}
+	}
+	if len(missKeys) == 0 {
+		return vals, found, nil
+	}
+	if bs, ok := c.store.(BatchStore); ok {
+		mv, mf, err := bs.BatchGet(missKeys)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range missPos {
+			if mf[j] {
+				vals[i], found[i] = mv[j], true
+				c.insert(missKeys[j], mv[j])
+			}
+		}
+		return vals, found, nil
+	}
+	for j, i := range missPos {
+		v, ok, err := c.store.Get(missKeys[j])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			vals[i], found[i] = v, true
+			c.insert(missKeys[j], v)
+		}
+	}
+	return vals, found, nil
 }
 
 // Put records a write: the paper's updating workers "first read the data

@@ -1,0 +1,306 @@
+// Package statecodec defines the serialized forms of every status-data
+// type the pipeline stores in TDStore: user behavior histories, scored
+// item lists, content profiles and float scalars.
+//
+// The paper's status store moves billions of values per day (§5), so the
+// wire format matters: JSON encoding of a history or a similar-items
+// list costs an order of magnitude more CPU than a length-prefixed
+// binary layout. This package owns a versioned binary format and keeps a
+// legacy JSON decode path so values written by earlier releases still
+// read back during rollover.
+//
+// Binary layout. Every binary value starts with a three-byte header:
+//
+//	[0] tagBinary (0x01) — distinguishes binary from legacy JSON, whose
+//	    first byte is always '{', '[', whitespace or 'n' (null);
+//	[1] a type byte ('H' history, 'L' list, 'P' profile) guarding
+//	    against decoding a value under the wrong key prefix;
+//	[2] a format version, currently 1.
+//
+// The payload uses uvarint-prefixed strings, uvarint counts and 8-byte
+// little-endian IEEE-754 floats. Unknown versions and malformed payloads
+// decode to wrapped errors, never panics.
+//
+// Float scalars are the exception: they keep the historical raw 8-byte
+// little-endian layout (no header) because windowed counters and
+// thresholds were already binary and the store's IncrFloat primitive
+// depends on the fixed width.
+package statecodec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"tencentrec/internal/core"
+)
+
+// tagBinary is the first byte of every header-carrying binary value.
+// JSON values never start with it, which is what makes the legacy
+// fallback unambiguous.
+const tagBinary = 0x01
+
+// Type bytes, one per stored status-data shape.
+const (
+	typeHistory = 'H'
+	typeList    = 'L'
+	typeProfile = 'P'
+)
+
+// version is the current binary format version. Bump it when the
+// payload layout changes; decoders must keep reading every version they
+// ever wrote (the store is never migrated in place).
+const version = 1
+
+// EncodeFloat encodes a float64 scalar (counters, thresholds, scores)
+// as 8 little-endian bytes.
+func EncodeFloat(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+// DecodeFloat reverses EncodeFloat.
+func DecodeFloat(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("statecodec: float value has %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Rating is one entry in a stored user behavior history.
+type Rating struct {
+	Rating  float64 `json:"r"`
+	TS      int64   `json:"t"`
+	Session int64   `json:"s"`
+}
+
+// History is the stored form of a user's behavior history: item id to
+// the max-weight rating with its timestamp and session.
+type History map[string]Rating
+
+// List is a stored scored-item list (similar items, hot items, AR
+// consequents, CTR rankings), descending by score.
+type List []core.ScoredItem
+
+// Profile is a stored CB interest or item content profile.
+type Profile struct {
+	Weights   map[string]float64 `json:"w"`
+	UpdatedTS int64              `json:"u,omitempty"`
+	Published int64              `json:"p,omitempty"`
+}
+
+// header emits the three-byte binary header.
+func header(buf []byte, typ byte) []byte {
+	return append(buf, tagBinary, typ, version)
+}
+
+// checkHeader validates a binary header and returns the payload.
+func checkHeader(b []byte, typ byte, what string) ([]byte, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("statecodec: %s value truncated (%d bytes)", what, len(b))
+	}
+	if b[1] != typ {
+		return nil, fmt.Errorf("statecodec: %s value has type byte %q, want %q", what, b[1], typ)
+	}
+	if b[2] != version {
+		return nil, fmt.Errorf("statecodec: %s value has unknown format version %d", what, b[2])
+	}
+	return b[3:], nil
+}
+
+// isBinary reports whether b carries the binary header tag. Legacy JSON
+// values (and raw floats) never start with 0x01.
+func isBinary(b []byte) bool {
+	return len(b) > 0 && b[0] == tagBinary
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte, what string) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("statecodec: %s string length corrupt", what)
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func readFloat(b []byte, what string) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("statecodec: %s float truncated", what)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func readInt64(b []byte, what string) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("statecodec: %s int64 truncated", what)
+	}
+	return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func readCount(b []byte, what string) (int, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	// Each encoded entry occupies at least one byte, so a count beyond
+	// the remaining payload is corruption, not a big value.
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return 0, nil, fmt.Errorf("statecodec: %s count corrupt", what)
+	}
+	return int(n), b[sz:], nil
+}
+
+// EncodeHistory serializes a behavior history in binary form.
+func EncodeHistory(h History) []byte {
+	buf := header(make([]byte, 0, 3+len(h)*32), typeHistory)
+	buf = binary.AppendUvarint(buf, uint64(len(h)))
+	for item, r := range h {
+		buf = appendString(buf, item)
+		buf = appendFloat(buf, r.Rating)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.TS))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Session))
+	}
+	return buf
+}
+
+// DecodeHistory parses a stored history, accepting both the binary
+// format and legacy JSON.
+func DecodeHistory(b []byte) (History, error) {
+	if !isBinary(b) {
+		h := make(History)
+		if err := json.Unmarshal(b, &h); err != nil {
+			return nil, fmt.Errorf("statecodec: bad legacy history: %w", err)
+		}
+		return h, nil
+	}
+	rest, err := checkHeader(b, typeHistory, "history")
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := readCount(rest, "history")
+	if err != nil {
+		return nil, err
+	}
+	h := make(History, n)
+	for i := 0; i < n; i++ {
+		var item string
+		var r Rating
+		if item, rest, err = readString(rest, "history item"); err != nil {
+			return nil, err
+		}
+		if r.Rating, rest, err = readFloat(rest, "history rating"); err != nil {
+			return nil, err
+		}
+		if r.TS, rest, err = readInt64(rest, "history ts"); err != nil {
+			return nil, err
+		}
+		if r.Session, rest, err = readInt64(rest, "history session"); err != nil {
+			return nil, err
+		}
+		h[item] = r
+	}
+	return h, nil
+}
+
+// EncodeList serializes a scored-item list in binary form.
+func EncodeList(l List) []byte {
+	buf := header(make([]byte, 0, 3+len(l)*24), typeList)
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	for _, sc := range l {
+		buf = appendString(buf, sc.Item)
+		buf = appendFloat(buf, sc.Score)
+	}
+	return buf
+}
+
+// DecodeList parses a stored scored list, accepting both the binary
+// format and legacy JSON.
+func DecodeList(b []byte) (List, error) {
+	if !isBinary(b) {
+		var l List
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, fmt.Errorf("statecodec: bad legacy scored list: %w", err)
+		}
+		return l, nil
+	}
+	rest, err := checkHeader(b, typeList, "list")
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := readCount(rest, "list")
+	if err != nil {
+		return nil, err
+	}
+	l := make(List, 0, n)
+	for i := 0; i < n; i++ {
+		var sc core.ScoredItem
+		if sc.Item, rest, err = readString(rest, "list item"); err != nil {
+			return nil, err
+		}
+		if sc.Score, rest, err = readFloat(rest, "list score"); err != nil {
+			return nil, err
+		}
+		l = append(l, sc)
+	}
+	return l, nil
+}
+
+// EncodeProfile serializes a term-weight profile in binary form.
+func EncodeProfile(p Profile) []byte {
+	buf := header(make([]byte, 0, 3+16+len(p.Weights)*24), typeProfile)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.UpdatedTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Published))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Weights)))
+	for term, w := range p.Weights {
+		buf = appendString(buf, term)
+		buf = appendFloat(buf, w)
+	}
+	return buf
+}
+
+// DecodeProfile parses a stored profile, accepting both the binary
+// format and legacy JSON.
+func DecodeProfile(b []byte) (Profile, error) {
+	if !isBinary(b) {
+		var p Profile
+		if err := json.Unmarshal(b, &p); err != nil {
+			return Profile{}, fmt.Errorf("statecodec: bad legacy profile: %w", err)
+		}
+		return p, nil
+	}
+	rest, err := checkHeader(b, typeProfile, "profile")
+	if err != nil {
+		return Profile{}, err
+	}
+	var p Profile
+	if p.UpdatedTS, rest, err = readInt64(rest, "profile updated"); err != nil {
+		return Profile{}, err
+	}
+	if p.Published, rest, err = readInt64(rest, "profile published"); err != nil {
+		return Profile{}, err
+	}
+	n, rest, err := readCount(rest, "profile")
+	if err != nil {
+		return Profile{}, err
+	}
+	p.Weights = make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		var term string
+		var w float64
+		if term, rest, err = readString(rest, "profile term"); err != nil {
+			return Profile{}, err
+		}
+		if w, rest, err = readFloat(rest, "profile weight"); err != nil {
+			return Profile{}, err
+		}
+		p.Weights[term] = w
+	}
+	return p, nil
+}

@@ -1,0 +1,138 @@
+package tdstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBatchPutGetRoundTrip(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16})
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("bk-%d", i))
+		vals = append(vals, []byte(fmt.Sprintf("v-%d", i)))
+	}
+	if err := cl.BatchPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	// Mix present and absent keys in one read batch.
+	probe := append(append([]string(nil), keys...), "missing-1", "missing-2")
+	got, found, err := cl.BatchGet(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || string(got[i]) != string(vals[i]) {
+			t.Fatalf("key %s = %q found=%v", keys[i], got[i], found[i])
+		}
+	}
+	for i := len(keys); i < len(probe); i++ {
+		if found[i] || got[i] != nil {
+			t.Fatalf("absent key %s reported found=%v val=%q", probe[i], found[i], got[i])
+		}
+	}
+	// Batched writes must replicate like single writes.
+	c.WaitSync()
+}
+
+func TestBatchPutLengthMismatch(t *testing.T) {
+	_, cl := newTestCluster(t, Options{})
+	if err := cl.BatchPut([]string{"a", "b"}, [][]byte{[]byte("x")}); err == nil {
+		t.Fatal("BatchPut accepted mismatched lengths")
+	}
+}
+
+func TestMGetReportsMisses(t *testing.T) {
+	_, cl := newTestCluster(t, Options{})
+	if err := cl.Put("present", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	vals, found, err := cl.MGet([]string{"present", "absent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || string(vals[0]) != "v" {
+		t.Fatalf("present key = %q found=%v", vals[0], found[0])
+	}
+	if found[1] {
+		t.Fatal("absent key reported found")
+	}
+}
+
+// TestBatchSurvivesFailoverWithOneRefresh kills a data server under a
+// client holding a stale route: the batched read must succeed after
+// refreshing the route table, and the refresh must run per batch, not
+// per key.
+func TestBatchSurvivesFailoverWithOneRefresh(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16, Replicas: 2})
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < 300; i++ {
+		keys = append(keys, fmt.Sprintf("fk-%d", i))
+		vals = append(vals, []byte{byte(i)})
+	}
+	if err := cl.BatchPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillDataServer("ds-1"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.RouteQueries()
+	got, found, err := cl.BatchGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || got[i][0] != byte(i) {
+			t.Fatalf("key %s lost after failover", keys[i])
+		}
+	}
+	refreshes := c.RouteQueries() - before
+	// 300 keys spread over the dead server's instances would have cost
+	// ~75 refreshes key-by-key; batching must need only a handful.
+	if refreshes > int64(clientRetries) {
+		t.Fatalf("batch read cost %d route refreshes, want <= %d", refreshes, clientRetries)
+	}
+	// Batched writes retry through the new route too.
+	if err := cl.BatchPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchConcurrentWithFailover exercises the batch paths under -race:
+// concurrent batch readers and writers while a server dies and revives.
+func TestBatchConcurrentWithFailover(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16, Replicas: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]string, 40)
+			vals := make([][]byte, 40)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("cw-%d-%d", w, i)
+				vals[i] = []byte{byte(i)}
+			}
+			for round := 0; round < 20; round++ {
+				if err := cl.BatchPut(keys, vals); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := cl.BatchGet(keys); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	if err := c.KillDataServer("ds-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReviveDataServer("ds-2"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

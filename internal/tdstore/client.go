@@ -1,11 +1,10 @@
 package tdstore
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 
+	"tencentrec/internal/statecodec"
 	"tencentrec/internal/tdstore/engine"
 )
 
@@ -173,32 +172,135 @@ func (cl *Client) GetFloat(key string) (float64, error) {
 	return DecodeFloat(v)
 }
 
-// MGet returns the values for keys; absent keys yield nil entries.
-func (cl *Client) MGet(keys []string) ([][]byte, error) {
-	out := make([][]byte, len(keys))
-	for i, k := range keys {
-		v, ok, err := cl.Get(k)
-		if err != nil {
-			return nil, err
+// BatchGet returns the values for keys in one pass: keys are grouped by
+// their owning data server via the route table and each server handles
+// its whole group in a single call. found[i] reports whether keys[i]
+// exists. A stale route or server failure refreshes the route table once
+// per batch attempt (not once per key) and retries only the failed
+// groups.
+func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	pending := make([]int, len(keys))
+	for i := range keys {
+		pending[i] = i
+	}
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		rt := cl.cachedRoute()
+		groups := make(map[string][]batchGetItem)
+		for _, i := range pending {
+			inst := rt.InstanceFor(keys[i])
+			host := rt.Hosts[inst]
+			groups[host] = append(groups[host], batchGetItem{inst: inst, key: keys[i], pos: i})
 		}
-		if ok {
-			out[i] = v
+		var stale []int
+		for host, items := range groups {
+			ds, ok := cl.c.server(host)
+			if !ok {
+				return nil, nil, fmt.Errorf("tdstore: route names unknown server %q", host)
+			}
+			err := ds.hostBatchGet(items, vals, found)
+			if err == nil {
+				continue
+			}
+			if !retryable(err) {
+				return nil, nil, err
+			}
+			lastErr = err
+			for _, it := range items {
+				stale = append(stale, it.pos)
+			}
+		}
+		if len(stale) == 0 {
+			return vals, found, nil
+		}
+		pending = stale
+		if err := cl.refreshRoute(); err != nil {
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	return nil, nil, fmt.Errorf("tdstore: batch get of %d keys: retries exhausted: %w", len(keys), lastErr)
 }
 
-// EncodeFloat encodes a float64 counter value.
+// BatchPut stores values[i] under keys[i], grouping the writes by owning
+// data server so each server applies its group in one call with a single
+// replication sync-op batch. Route refresh and retry follow BatchGet.
+func (cl *Client) BatchPut(keys []string, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("tdstore: batch put has %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	cps := make([][]byte, len(values))
+	for i, v := range values {
+		cps[i] = append([]byte(nil), v...)
+	}
+	pending := make([]int, len(keys))
+	for i := range keys {
+		pending[i] = i
+	}
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		rt := cl.cachedRoute()
+		groups := make(map[string][]batchPutItem)
+		groupIdx := make(map[string][]int)
+		for _, i := range pending {
+			inst := rt.InstanceFor(keys[i])
+			host := rt.Hosts[inst]
+			groups[host] = append(groups[host], batchPutItem{inst: inst, key: keys[i], value: cps[i]})
+			groupIdx[host] = append(groupIdx[host], i)
+		}
+		var stale []int
+		for host, items := range groups {
+			ds, ok := cl.c.server(host)
+			if !ok {
+				return fmt.Errorf("tdstore: route names unknown server %q", host)
+			}
+			err := ds.hostBatchPut(items)
+			if err == nil {
+				continue
+			}
+			if !retryable(err) {
+				return err
+			}
+			lastErr = err
+			stale = append(stale, groupIdx[host]...)
+		}
+		if len(stale) == 0 {
+			return nil
+		}
+		pending = stale
+		if err := cl.refreshRoute(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("tdstore: batch put of %d keys: retries exhausted: %w", len(keys), lastErr)
+}
+
+// MGet returns the values for keys with per-key found flags. It is
+// BatchGet under the historical name: the route table is refreshed at
+// most once per batch attempt, and misses are reported explicitly
+// instead of as silent nil entries.
+func (cl *Client) MGet(keys []string) ([][]byte, []bool, error) {
+	return cl.BatchGet(keys)
+}
+
+// EncodeFloat encodes a float64 counter value. The format is owned by
+// package statecodec; this alias keeps store-level callers local.
 func EncodeFloat(v float64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	return b[:]
+	return statecodec.EncodeFloat(v)
 }
 
 // DecodeFloat decodes a counter encoded by EncodeFloat.
 func DecodeFloat(b []byte) (float64, error) {
-	if len(b) != 8 {
-		return 0, fmt.Errorf("tdstore: counter value has %d bytes, want 8", len(b))
+	v, err := statecodec.DecodeFloat(b)
+	if err != nil {
+		return 0, fmt.Errorf("tdstore: %w", err)
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	return v, nil
 }

@@ -128,6 +128,19 @@ func (ds *DataServer) enqueueSync(op syncOp) {
 	ds.syncMu.Unlock()
 }
 
+// enqueueSyncBatch schedules a batch of mutations under one lock
+// acquisition and one wake-up — the replication half of a batched write.
+func (ds *DataServer) enqueueSyncBatch(ops []syncOp) {
+	if len(ops) == 0 {
+		return
+	}
+	ds.syncMu.Lock()
+	ds.syncQueue = append(ds.syncQueue, ops...)
+	ds.lag += len(ops)
+	ds.syncCond.Signal()
+	ds.syncMu.Unlock()
+}
+
 // WaitSync blocks until every mutation acknowledged by this host has been
 // applied to its slaves. Tests and orderly shutdowns use it; production
 // reads tolerate replica lag as the paper's design does.
@@ -183,6 +196,82 @@ func (ds *DataServer) hostMutate(instance InstanceID, fn func(eng engine.Engine)
 	for _, op := range ops {
 		ds.enqueueSync(op)
 	}
+	return nil
+}
+
+// batchGetItem is one key of a batched read, tagged with its data
+// instance and its position in the caller's result slices.
+type batchGetItem struct {
+	inst InstanceID
+	key  string
+	pos  int
+}
+
+// batchPutItem is one key/value of a batched write.
+type batchPutItem struct {
+	inst  InstanceID
+	key   string
+	value []byte
+}
+
+// hostBatchGet serves a batched read covering every instance this server
+// hosts for the caller, filling vals/found at each item's position. The
+// liveness and hosting checks run once per batch, not once per key.
+func (ds *DataServer) hostBatchGet(items []batchGetItem, vals [][]byte, found []bool) error {
+	ds.mu.Lock()
+	if ds.down {
+		ds.mu.Unlock()
+		return ErrServerDown
+	}
+	engines := make(map[InstanceID]engine.Engine, 1)
+	for _, it := range items {
+		if _, ok := engines[it.inst]; ok {
+			continue
+		}
+		if !ds.hostOf[it.inst] {
+			ds.mu.Unlock()
+			return ErrNotHost
+		}
+		engines[it.inst] = ds.instances[it.inst]
+	}
+	ds.mu.Unlock()
+	for _, it := range items {
+		v, ok, err := engines[it.inst].Get(it.key)
+		if err != nil {
+			return err
+		}
+		vals[it.pos], found[it.pos] = v, ok
+	}
+	return nil
+}
+
+// hostBatchPut serves a batched write: every key is applied to its
+// instance's engine under one lock acquisition, and the replication
+// sync-ops are enqueued as a single batch.
+func (ds *DataServer) hostBatchPut(items []batchPutItem) error {
+	ds.mu.Lock()
+	if ds.down {
+		ds.mu.Unlock()
+		return ErrServerDown
+	}
+	for _, it := range items {
+		if !ds.hostOf[it.inst] {
+			ds.mu.Unlock()
+			return ErrNotHost
+		}
+	}
+	ops := make([]syncOp, 0, len(items))
+	for _, it := range items {
+		if err := ds.instances[it.inst].Put(it.key, it.value); err != nil {
+			ds.mu.Unlock()
+			// Already-applied keys will be re-applied on retry; Put is
+			// idempotent so partial application is safe.
+			return err
+		}
+		ops = append(ops, syncOp{kind: opPut, instance: it.inst, key: it.key, value: it.value})
+	}
+	ds.mu.Unlock()
+	ds.enqueueSyncBatch(ops)
 	return nil
 }
 

@@ -41,11 +41,12 @@ type flushedDelta struct {
 // counters fold too-old sessions into the window edge, so deltas must be
 // applied oldest-first for results independent of map iteration order.
 func drainCombiner(c *combiner.Combiner) []flushedDelta {
-	var out []flushedDelta
-	c.Flush(func(ck string, v float64) {
+	buf := c.Drain()
+	out := make([]flushedDelta, 0, len(buf))
+	for ck, v := range buf {
 		key, session := splitCombKey(ck)
 		out = append(out, flushedDelta{key: key, session: session, value: v})
-	})
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].session != out[j].session {
 			return out[i].session < out[j].session
@@ -315,11 +316,29 @@ func (b *ItemCountBolt) flush() error {
 	if b.comb == nil {
 		return nil
 	}
+	deltas := drainCombiner(b.comb)
+	if len(deltas) == 0 {
+		return nil
+	}
+	// One batched read of every touched counter, the merged deltas
+	// applied in session order against the staged view, one batched
+	// write back — the tick costs two store round-trips, not 2N.
+	keys := make([]string, 0, len(deltas))
+	for _, d := range deltas {
+		keys = append(keys, prefixItemCount+d.key)
+	}
+	sb := b.st.newBatch()
+	if err := sb.prefetch(keys, nil); err != nil {
+		return err
+	}
 	var firstErr error
-	for _, d := range drainCombiner(b.comb) {
-		if _, err := b.st.addCounter(prefixItemCount+d.key, b.p.WindowSessions, d.session, d.value); err != nil && firstErr == nil {
+	for _, d := range deltas {
+		if _, err := sb.addCounter(prefixItemCount+d.key, b.p.WindowSessions, d.session, d.value); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if err := sb.flush(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -412,36 +431,47 @@ func (b *PairCountBolt) Execute(t *stream.Tuple) error {
 		b.nCom.Add(combKey(pair, session), 1)
 		return nil
 	}
-	err := b.apply(pair, session, delta, 1)
+	sb, err := b.newPairBatch([]string{pair})
+	if err != nil {
+		return err
+	}
+	err = b.apply(sb, pair, session, delta, 1)
+	if ferr := sb.flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if old, ok := b.recheck[pair]; !ok || session > old {
 		b.recheck[pair] = session
 	}
 	return err
 }
 
+// pairJob is one pending apply of a flush interval.
+type pairJob struct {
+	pair    string
+	session int64
+	delta   float64
+	n       float64
+	// fromComb schedules the pair for one follow-up recomputation.
+	fromComb bool
+}
+
 func (b *PairCountBolt) flush(final bool) error {
-	var firstErr error
+	var jobs []pairJob
 	// Recompute last interval's pairs against the now-settled counters.
 	if len(b.recheck) > 0 && !final {
 		pending := b.recheck
 		b.recheck = make(map[string]int64)
-		for pair, session := range pending {
-			if err := b.apply(pair, session, 0, 0); err != nil && firstErr == nil {
-				firstErr = err
-			}
+		for _, pair := range sortedKeys(pending) {
+			jobs = append(jobs, pairJob{pair: pair, session: pending[pair]})
 		}
 	}
 	if b.comb != nil {
-		counts := make(map[string]float64)
-		b.nCom.Flush(func(ck string, n float64) { counts[ck] = n })
+		counts := b.nCom.Drain()
 		for _, d := range drainCombiner(b.comb) {
-			if err := b.apply(d.key, d.session, d.value, counts[combKey(d.key, d.session)]); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			// Schedule one follow-up recomputation.
-			if old, ok := b.recheck[d.key]; !ok || d.session > old {
-				b.recheck[d.key] = d.session
-			}
+			jobs = append(jobs, pairJob{
+				pair: d.key, session: d.session, delta: d.value,
+				n: counts[combKey(d.key, d.session)], fromComb: true,
+			})
 		}
 	}
 	if final {
@@ -449,17 +479,84 @@ func (b *PairCountBolt) flush(final bool) error {
 		// flushes components in topological order), so recomputing all
 		// owned pairs leaves exact similarities in the store.
 		b.recheck = make(map[string]int64)
-		for pair, session := range b.owned {
-			if err := b.apply(pair, session, 0, 0); err != nil && firstErr == nil {
-				firstErr = err
+		for _, pair := range sortedKeys(b.owned) {
+			jobs = append(jobs, pairJob{pair: pair, session: b.owned[pair]})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	// One batched read covers every pair counter plus the foreign
+	// itemCounts and thresholds the whole interval needs; applies run
+	// against the staged view and one batched write lands the results.
+	pairs := make([]string, len(jobs))
+	for i, j := range jobs {
+		pairs[i] = j.pair
+	}
+	sb, err := b.newPairBatch(pairs)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, j := range jobs {
+		if err := b.apply(sb, j.pair, j.session, j.delta, j.n); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if j.fromComb && !final {
+			if old, ok := b.recheck[j.pair]; !ok || j.session > old {
+				b.recheck[j.pair] = j.session
 			}
 		}
+	}
+	if err := sb.flush(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
 
-// apply performs Algorithm 1's lines 6-17 for one merged pair update.
-func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) error {
+// sortedKeys returns a map's keys in sorted order, pinning the apply
+// order of map-accumulated work (emission order downstream is otherwise
+// at the mercy of map iteration).
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newPairBatch stages the state one batch of pair applies touches: the
+// pair counters (owned), and each member item's itemCount and top-K
+// threshold (foreign, read once per interval instead of once per pair).
+func (b *PairCountBolt) newPairBatch(pairs []string) (*stateBatch, error) {
+	pruning := b.p.PruningDelta > 0 && b.p.PruningDelta < 1
+	owned := make([]string, 0, 2*len(pairs))
+	foreign := make([]string, 0, 2*len(pairs))
+	for _, pair := range pairs {
+		if b.pruned[pair] {
+			continue // apply skips it; don't fetch its state
+		}
+		owned = append(owned, prefixPairCount+pair)
+		if pruning {
+			owned = append(owned, prefixPairN+pair)
+		}
+		itemA, itemB := splitPair(pair)
+		foreign = append(foreign, prefixItemCount+itemA, prefixItemCount+itemB)
+		if pruning {
+			foreign = append(foreign, prefixThreshold+itemA, prefixThreshold+itemB)
+		}
+	}
+	sb := b.st.newBatch()
+	if err := sb.prefetch(owned, foreign); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// apply performs Algorithm 1's lines 6-17 for one merged pair update,
+// reading and writing through the interval's staged batch.
+func (b *PairCountBolt) apply(sb *stateBatch, pair string, session int64, delta, n float64) error {
 	if b.pruned[pair] {
 		delete(b.owned, pair)
 		return nil // pruned between buffering and flush
@@ -467,16 +564,16 @@ func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) erro
 	if old, ok := b.owned[pair]; !ok || session > old {
 		b.owned[pair] = session
 	}
-	pcSum, err := b.st.addCounter(prefixPairCount+pair, b.p.WindowSessions, session, delta)
+	pcSum, err := sb.addCounter(prefixPairCount+pair, b.p.WindowSessions, session, delta)
 	if err != nil {
 		return err
 	}
 	itemA, itemB := splitPair(pair)
-	icA, err := b.st.readCounterSum(prefixItemCount+itemA, b.p.WindowSessions, session)
+	icA, err := sb.readCounterSum(prefixItemCount+itemA, b.p.WindowSessions, session)
 	if err != nil {
 		return err
 	}
-	icB, err := b.st.readCounterSum(prefixItemCount+itemB, b.p.WindowSessions, session)
+	icB, err := sb.readCounterSum(prefixItemCount+itemB, b.p.WindowSessions, session)
 	if err != nil {
 		return err
 	}
@@ -497,15 +594,15 @@ func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) erro
 	if b.p.PruningDelta <= 0 || b.p.PruningDelta >= 1 {
 		return nil
 	}
-	nTotal, err := b.st.addCounter(prefixPairN+pair, 0, 0, n)
+	nTotal, err := sb.addCounter(prefixPairN+pair, 0, 0, n)
 	if err != nil {
 		return err
 	}
-	t1, err := b.threshold(itemA)
+	t1, err := b.threshold(sb, itemA)
 	if err != nil {
 		return err
 	}
-	t2, err := b.threshold(itemB)
+	t2, err := b.threshold(sb, itemB)
 	if err != nil {
 		return err
 	}
@@ -513,9 +610,7 @@ func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) erro
 	eps := core.HoeffdingEpsilon(1, b.p.PruningDelta, int(nTotal))
 	if eps < thr-sim {
 		b.pruned[pair] = true
-		if err := b.st.Put(prefixPruned+pair, []byte{1}); err != nil {
-			return err
-		}
+		sb.put(prefixPruned+pair, []byte{1})
 		// Withdraw the pair from both lists.
 		b.c.EmitTo(StreamSim, stream.Values{itemA, itemB, 0.0})
 		b.c.EmitTo(StreamSim, stream.Values{itemB, itemA, 0.0})
@@ -525,8 +620,8 @@ func (b *PairCountBolt) apply(pair string, session int64, delta, n float64) erro
 
 // threshold reads an item's top-K list threshold maintained by
 // ResultStorage (a foreign key: never cached here).
-func (b *PairCountBolt) threshold(item string) (float64, error) {
-	raw, ok, err := b.st.getForeign(prefixThreshold + item)
+func (b *PairCountBolt) threshold(sb *stateBatch, item string) (float64, error) {
+	raw, ok, err := sb.getForeign(prefixThreshold + item)
 	if err != nil || !ok {
 		return 0, err
 	}
@@ -637,13 +732,15 @@ func (b *ResultStorageBolt) Execute(t *stream.Tuple) error {
 		}
 	}
 	list, thr := updateStoredList(list, other, sim, b.p.TopK)
-	if err := b.st.Put(b.prefix+item, encodeList(list)); err != nil {
-		return err
-	}
 	if b.prefix == prefixSimilar {
-		return b.st.Put(prefixThreshold+item, encodeFloat(thr))
+		// The list and its threshold land in one batched write: readers
+		// of the pruning test never observe a list without its threshold.
+		return b.st.putBatch(
+			[]string{b.prefix + item, prefixThreshold + item},
+			[][]byte{encodeList(list), encodeFloat(thr)},
+		)
 	}
-	return nil
+	return b.st.Put(b.prefix+item, encodeList(list))
 }
 
 // Cleanup implements stream.Bolt.

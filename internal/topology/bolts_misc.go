@@ -53,29 +53,58 @@ func (b *DBBolt) Execute(t *stream.Tuple) error {
 		b.comb.Add(ck, weight)
 		return nil
 	}
-	return b.apply(group+"\x1f"+item, session, weight)
+	groupItem := group + "\x1f" + item
+	sb := b.st.newBatch()
+	if err := sb.prefetch([]string{prefixGroupCount + groupItem, prefixHotList + group}, nil); err != nil {
+		return err
+	}
+	err := b.apply(sb, groupItem, session, weight)
+	if ferr := sb.flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
 }
 
 func (b *DBBolt) flush() error {
 	if b.comb == nil {
 		return nil
 	}
+	deltas := drainCombiner(b.comb)
+	if len(deltas) == 0 {
+		return nil
+	}
+	// One batched read covers every group counter plus the hot lists the
+	// interval touches (deduplicated per group); staged applies then land
+	// in one batched write. Multiple items of one group fold into the same
+	// staged list via read-your-writes.
+	owned := make([]string, 0, 2*len(deltas))
+	for _, d := range deltas {
+		group, _ := splitPair(d.key)
+		owned = append(owned, prefixGroupCount+d.key, prefixHotList+group)
+	}
+	sb := b.st.newBatch()
+	if err := sb.prefetch(owned, nil); err != nil {
+		return err
+	}
 	var firstErr error
-	for _, d := range drainCombiner(b.comb) {
-		if err := b.apply(d.key, d.session, d.value); err != nil && firstErr == nil {
+	for _, d := range deltas {
+		if err := b.apply(sb, d.key, d.session, d.value); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if err := sb.flush(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
 
-func (b *DBBolt) apply(groupItem string, session int64, weight float64) error {
+func (b *DBBolt) apply(sb *stateBatch, groupItem string, session int64, weight float64) error {
 	group, item := splitPair(groupItem)
-	sum, err := b.st.addCounter(prefixGroupCount+groupItem, b.p.WindowSessions, session, weight)
+	sum, err := sb.addCounter(prefixGroupCount+groupItem, b.p.WindowSessions, session, weight)
 	if err != nil {
 		return err
 	}
-	raw, ok, err := b.st.Get(prefixHotList + group)
+	raw, ok, err := sb.get(prefixHotList + group)
 	if err != nil {
 		return err
 	}
@@ -86,7 +115,8 @@ func (b *DBBolt) apply(groupItem string, session int64, weight float64) error {
 		}
 	}
 	list, _ = updateStoredList(list, item, sum, b.p.TopK)
-	return b.st.Put(prefixHotList+group, encodeList(list))
+	sb.put(prefixHotList+group, encodeList(list))
+	return nil
 }
 
 // Cleanup implements stream.Bolt.
@@ -141,18 +171,34 @@ func (b *ARBolt) Execute(t *stream.Tuple) error {
 }
 
 // flush recomputes the rules of every pair updated since the last tick.
+// All supports the interval needs — the pair's own count and both items'
+// transaction supports — come back in one batched, store-direct read.
 func (b *ARBolt) flush() error {
-	for pair, session := range b.dirty {
-		supp, err := b.st.readCounterSum(prefixARPair+pair, b.p.WindowSessions, session)
+	if len(b.dirty) == 0 {
+		return nil
+	}
+	pairs := sortedKeys(b.dirty)
+	foreign := make([]string, 0, 3*len(pairs))
+	for _, pair := range pairs {
+		a, c2 := splitPair(pair)
+		foreign = append(foreign, prefixARPair+pair, prefixARItem+a, prefixARItem+c2)
+	}
+	sb := b.st.newBatch()
+	if err := sb.prefetch(nil, foreign); err != nil {
+		return err
+	}
+	for _, pair := range pairs {
+		session := b.dirty[pair]
+		supp, err := sb.readCounterSum(prefixARPair+pair, b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
 		a, c2 := splitPair(pair)
-		suppA, err := b.st.readCounterSum(prefixARItem+a, b.p.WindowSessions, session)
+		suppA, err := sb.readCounterSum(prefixARItem+a, b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
-		suppB, err := b.st.readCounterSum(prefixARItem+c2, b.p.WindowSessions, session)
+		suppB, err := sb.readCounterSum(prefixARItem+c2, b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
@@ -308,7 +354,13 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 	if weight <= 0 {
 		return nil
 	}
-	rawItem, ok, err := b.st.getForeign(prefixItemInfo + item)
+	// The item's content vector (foreign: ItemInfo owns it) and the
+	// user's profile (owned) come back in one batched read.
+	sb := b.st.newBatch()
+	if err := sb.prefetch([]string{prefixUserProfile + user}, []string{prefixItemInfo + item}); err != nil {
+		return err
+	}
+	rawItem, ok, err := sb.getForeign(prefixItemInfo + item)
 	if err != nil || !ok {
 		return err // unknown item: nothing to learn
 	}
@@ -316,7 +368,7 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 	if err != nil {
 		return err
 	}
-	rawUser, ok, err := b.st.Get(prefixUserProfile + user)
+	rawUser, ok, err := sb.get(prefixUserProfile + user)
 	if err != nil {
 		return err
 	}
@@ -342,7 +394,8 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 		prof.Weights[term] += weight * tf
 	}
 	prof.UpdatedTS = ts
-	return b.st.Put(prefixUserProfile+user, encodeProfile(prof))
+	sb.put(prefixUserProfile+user, encodeProfile(prof))
+	return sb.flush()
 }
 
 // Cleanup implements stream.Bolt.
@@ -394,31 +447,50 @@ func (b *CtrStoreBolt) Execute(t *stream.Tuple) error {
 	}
 	ts := t.Value("ts").(int64)
 	session := b.p.clock().SessionOf(RawAction{TS: ts}.Time())
+	// One event touches every cuboid's cell; the incremented counters
+	// (owned, cached) and their read-only partners (store-direct, as in
+	// the single-key path) are fetched in one batched read and the
+	// increments land in one batched write.
+	addPre, readPre := prefixCtrImp, prefixCtrClk
+	if etype != "impression" {
+		addPre, readPre = prefixCtrClk, prefixCtrImp
+	}
+	owned := make([]string, 0, len(b.cuboids))
+	foreign := make([]string, 0, len(b.cuboids))
+	for _, cb := range b.cuboids {
+		cell := cb.Key(cx) + "\x1f" + item
+		owned = append(owned, addPre+cell)
+		foreign = append(foreign, readPre+cell)
+	}
+	sb := b.st.newBatch()
+	if err := sb.prefetch(owned, foreign); err != nil {
+		return err
+	}
+	var loopErr error
 	for _, cb := range b.cuboids {
 		sit := cb.Key(cx)
 		cell := sit + "\x1f" + item
-		var imps, clks float64
-		var err error
-		if etype == "impression" {
-			imps, err = b.st.addCounter(prefixCtrImp+cell, b.p.WindowSessions, session, 1)
-			if err != nil {
-				return err
-			}
-			clks, err = b.st.readCounterSum(prefixCtrClk+cell, b.p.WindowSessions, session)
-		} else {
-			clks, err = b.st.addCounter(prefixCtrClk+cell, b.p.WindowSessions, session, 1)
-			if err != nil {
-				return err
-			}
-			imps, err = b.st.readCounterSum(prefixCtrImp+cell, b.p.WindowSessions, session)
-		}
+		added, err := sb.addCounter(addPre+cell, b.p.WindowSessions, session, 1)
 		if err != nil {
-			return err
+			loopErr = err
+			break
+		}
+		read, err := sb.readCounterSum(readPre+cell, b.p.WindowSessions, session)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		imps, clks := added, read
+		if etype != "impression" {
+			imps, clks = read, added
 		}
 		score := (clks + b.p.CtrPriorClicks) / (imps + b.p.CtrPriorImpressions)
 		b.c.EmitTo("ctr_cell", stream.Values{sit, item, score})
 	}
-	return nil
+	if err := sb.flush(); err != nil && loopErr == nil {
+		loopErr = err
+	}
+	return loopErr
 }
 
 // Cleanup implements stream.Bolt.

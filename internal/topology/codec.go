@@ -1,29 +1,28 @@
 package topology
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"math"
 	"strings"
 	"time"
 
 	"tencentrec/internal/core"
+	"tencentrec/internal/statecodec"
 )
 
-// encodeFloat stores a float64 scalar (thresholds, scores).
+// encodeFloat stores a float64 scalar (thresholds, scores). The format
+// is owned by package statecodec, shared with the TDStore counter path.
 func encodeFloat(v float64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	return b[:]
+	return statecodec.EncodeFloat(v)
 }
 
 // decodeFloat reverses encodeFloat.
 func decodeFloat(b []byte) (float64, error) {
-	if len(b) != 8 {
-		return 0, fmt.Errorf("topology: float value has %d bytes, want 8", len(b))
+	v, err := statecodec.DecodeFloat(b)
+	if err != nil {
+		return 0, fmt.Errorf("topology: %w", err)
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	return v, nil
 }
 
 // RawAction is the wire format applications publish into TDAccess: one
@@ -99,61 +98,53 @@ func splitPair(id string) (string, string) {
 	return id[:i], id[i+1:]
 }
 
-// storedRating is one entry in a persisted user history.
-type storedRating struct {
-	Rating  float64 `json:"r"`
-	TS      int64   `json:"t"`
-	Session int64   `json:"s"`
-}
-
-// storedHistory is the persisted form of a user's behavior history.
-type storedHistory map[string]storedRating
+// The persisted status-data types are owned by package statecodec,
+// which defines their versioned binary wire format (with a JSON-legacy
+// decode path for values written by earlier releases). The aliases keep
+// bolt code reading naturally.
+type (
+	// storedRating is one entry in a persisted user history.
+	storedRating = statecodec.Rating
+	// storedHistory is the persisted form of a user's behavior history.
+	storedHistory = statecodec.History
+	// storedList is a persisted scored-item list (similar items, hot
+	// items, AR consequents, CTR rankings), descending by score.
+	storedList = statecodec.List
+	// storedProfile is a persisted CB interest or item profile.
+	storedProfile = statecodec.Profile
+)
 
 func encodeHistory(h storedHistory) []byte {
-	b, _ := json.Marshal(h)
-	return b
+	return statecodec.EncodeHistory(h)
 }
 
 func decodeHistory(b []byte) (storedHistory, error) {
-	h := make(storedHistory)
-	if err := json.Unmarshal(b, &h); err != nil {
+	h, err := statecodec.DecodeHistory(b)
+	if err != nil {
 		return nil, fmt.Errorf("topology: bad user history: %w", err)
 	}
 	return h, nil
 }
 
-// storedList is a persisted scored-item list (similar items, hot items,
-// AR consequents, CTR rankings), descending by score.
-type storedList []core.ScoredItem
-
 func encodeList(l storedList) []byte {
-	b, _ := json.Marshal(l)
-	return b
+	return statecodec.EncodeList(l)
 }
 
 func decodeList(b []byte) (storedList, error) {
-	var l storedList
-	if err := json.Unmarshal(b, &l); err != nil {
+	l, err := statecodec.DecodeList(b)
+	if err != nil {
 		return nil, fmt.Errorf("topology: bad scored list: %w", err)
 	}
 	return l, nil
 }
 
-// storedProfile is a persisted CB interest or item profile.
-type storedProfile struct {
-	Weights   map[string]float64 `json:"w"`
-	UpdatedTS int64              `json:"u,omitempty"`
-	Published int64              `json:"p,omitempty"`
-}
-
 func encodeProfile(p storedProfile) []byte {
-	b, _ := json.Marshal(p)
-	return b
+	return statecodec.EncodeProfile(p)
 }
 
 func decodeProfile(b []byte) (storedProfile, error) {
-	var p storedProfile
-	if err := json.Unmarshal(b, &p); err != nil {
+	p, err := statecodec.DecodeProfile(b)
+	if err != nil {
 		return storedProfile{}, fmt.Errorf("topology: bad profile: %w", err)
 	}
 	return p, nil

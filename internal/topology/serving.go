@@ -45,6 +45,33 @@ func (s *Serving) readList(key string, n int) ([]core.ScoredItem, error) {
 	return list, nil
 }
 
+// readLists fetches several stored lists in one batched read; absent
+// keys yield nil entries. Each list is truncated to n when n > 0.
+func (s *Serving) readLists(keys []string, n int) ([][]core.ScoredItem, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	vals, found, err := s.st.BatchGet(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]core.ScoredItem, len(keys))
+	for i := range keys {
+		if !found[i] {
+			continue
+		}
+		list, err := decodeList(vals[i])
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 && len(list) > n {
+			list = list[:n]
+		}
+		out[i] = list
+	}
+	return out, nil
+}
+
 // history loads a user's stored behavior history.
 func (s *Serving) history(user string) (storedHistory, error) {
 	raw, ok, err := s.st.Get(prefixUserHistory + user)
@@ -92,12 +119,18 @@ func (s *Serving) RecommendCF(user string, now time.Time, n int, exclude map[str
 	}
 	type acc struct{ num, den float64 }
 	cand := make(map[string]*acc)
-	for _, recent := range s.recentItems(hist, now) {
-		list, err := s.readList(prefixSimilar+recent.Item, 0)
-		if err != nil {
-			return nil, err
-		}
-		for _, sc := range list {
+	// All recent items' similar lists come back in one batched read.
+	recents := s.recentItems(hist, now)
+	keys := make([]string, len(recents))
+	for i, r := range recents {
+		keys[i] = prefixSimilar + r.Item
+	}
+	lists, err := s.readLists(keys, 0)
+	if err != nil {
+		return nil, err
+	}
+	for ri, recent := range recents {
+		for _, sc := range lists[ri] {
 			if sc.Score < s.p.MinSimilarity {
 				continue
 			}
@@ -183,12 +216,18 @@ func (s *Serving) ARRecommend(user string, now time.Time, n int) ([]core.ScoredI
 		return nil, err
 	}
 	best := make(map[string]float64)
-	for _, recent := range s.recentItems(hist, now) {
-		list, err := s.readList(prefixARList+recent.Item, 0)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range list {
+	// All recent items' rule lists come back in one batched read.
+	recents := s.recentItems(hist, now)
+	keys := make([]string, len(recents))
+	for i, r := range recents {
+		keys[i] = prefixARList + r.Item
+	}
+	lists, err := s.readLists(keys, 0)
+	if err != nil {
+		return nil, err
+	}
+	for ri := range recents {
+		for _, r := range lists[ri] {
 			if _, rated := hist[r.Item]; rated {
 				continue
 			}
@@ -220,14 +259,19 @@ func (s *Serving) TopAds(cx ctr.Context, n int) ([]core.ScoredItem, error) {
 	if cuboids == nil {
 		cuboids = []ctr.Cuboid{{}, {ctr.DimGender, ctr.DimAge}, {ctr.DimRegion, ctr.DimGender, ctr.DimAge}}
 	}
+	// Collect covered cuboids narrowest-first, fetch every candidate
+	// ranking in one batched read, and serve the first non-empty one.
+	var keys []string
 	for i := len(cuboids) - 1; i >= 0; i-- {
-		if !cx.Covers(cuboids[i]) {
-			continue
+		if cx.Covers(cuboids[i]) {
+			keys = append(keys, prefixCtrTop+cuboids[i].Key(cx))
 		}
-		list, err := s.readList(prefixCtrTop+cuboids[i].Key(cx), n)
-		if err != nil {
-			return nil, err
-		}
+	}
+	lists, err := s.readLists(keys, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, list := range lists {
 		if len(list) > 0 {
 			return list, nil
 		}
@@ -242,27 +286,36 @@ func (s *Serving) RecommendCB(user string, candidates []string, n int, exclude m
 	if n <= 0 {
 		n = 10
 	}
-	raw, ok, err := s.st.Get(prefixUserProfile + user)
-	if err != nil || !ok {
-		return nil, err
+	// One batched read covers the user's profile and every candidate's
+	// content vector.
+	pool := make([]string, 0, len(candidates))
+	for _, id := range candidates {
+		if !exclude[id] {
+			pool = append(pool, id)
+		}
 	}
-	prof, err := decodeProfile(raw)
+	keys := make([]string, 0, len(pool)+1)
+	keys = append(keys, prefixUserProfile+user)
+	for _, id := range pool {
+		keys = append(keys, prefixItemInfo+id)
+	}
+	vals, found, err := s.st.BatchGet(keys)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]core.ScoredItem, 0, len(candidates))
-	for _, id := range candidates {
-		if exclude[id] {
+	if !found[0] {
+		return nil, nil // no profile learned yet
+	}
+	prof, err := decodeProfile(vals[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ScoredItem, 0, len(pool))
+	for i, id := range pool {
+		if !found[i+1] {
 			continue
 		}
-		rawItem, ok, err := s.st.Get(prefixItemInfo + id)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		ip, err := decodeProfile(rawItem)
+		ip, err := decodeProfile(vals[i+1])
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,12 @@
 // interval-flushed combiners (§5.3) driven by tick tuples, and the
 // demographic statistics use the multi-hash regrouping of §5.4 (hash by
 // user first, then re-hash the rating deltas by group id).
+//
+// State access is batched: each bolt accumulates the key set one tuple
+// or one flush interval touches and issues one BatchGet up front and one
+// BatchPut at the end (via stateBatch), so a tick that merges hundreds
+// of combiner deltas costs a handful of store round-trips instead of
+// hundreds.
 package topology
 
 import (
@@ -26,17 +32,29 @@ import (
 	"sync/atomic"
 
 	"tencentrec/internal/cache"
+	"tencentrec/internal/statecodec"
 	"tencentrec/internal/window"
 )
 
 // State is the status-data store contract bolts need: a strongly-typed
-// subset of the TDStore client. All implementations must be safe for
-// concurrent use (bolts on different tasks share one client).
+// subset of the TDStore client, including the batched entry points the
+// flush paths depend on. All implementations must be safe for concurrent
+// use (bolts on different tasks share one client).
 type State interface {
 	// Get returns the value stored under key.
 	Get(key string) ([]byte, bool, error)
 	// Put stores value under key.
 	Put(key string, value []byte) error
+	// Delete removes key; deleting an absent key is not an error.
+	Delete(key string) error
+	// BatchGet returns the values for keys in one round trip;
+	// found[i] reports whether keys[i] exists.
+	BatchGet(keys []string) (values [][]byte, found []bool, err error)
+	// BatchPut stores values[i] under keys[i] in one round trip.
+	BatchPut(keys []string, values [][]byte) error
+	// IncrFloat atomically adds delta to the float64 scalar at key
+	// (absent keys start at zero) and returns the new value.
+	IncrFloat(key string, delta float64) (float64, error)
 }
 
 // memShards spreads MemState over independent locks, approximating the
@@ -65,14 +83,18 @@ func NewMemState() *MemState {
 	return s
 }
 
-func (s *MemState) shard(key string) *memShard {
+func shardIndex(key string) uint32 {
 	const offset, prime = 2166136261, 16777619
 	h := uint32(offset)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= prime
 	}
-	return &s.shards[h%memShards]
+	return h % memShards
+}
+
+func (s *MemState) shard(key string) *memShard {
+	return &s.shards[shardIndex(key)]
 }
 
 // Get implements State.
@@ -100,6 +122,91 @@ func (s *MemState) Put(key string, value []byte) error {
 	sh.mu.Unlock()
 	s.puts.Add(1)
 	return nil
+}
+
+// Delete implements State.
+func (s *MemState) Delete(key string) error {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	return nil
+}
+
+// BatchGet implements State: keys are grouped by shard so each shard's
+// lock is taken once per batch. Ops accounting stays per key, so the
+// cache/combiner ablations keep measuring keys touched.
+func (s *MemState) BatchGet(keys []string) ([][]byte, []bool, error) {
+	s.gets.Add(int64(len(keys)))
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	var byShard [memShards][]int
+	for i, k := range keys {
+		si := shardIndex(k)
+		byShard[si] = append(byShard[si], i)
+	}
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, i := range idxs {
+			if v, ok := sh.m[keys[i]]; ok {
+				out := make([]byte, len(v))
+				copy(out, v)
+				vals[i], found[i] = out, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return vals, found, nil
+}
+
+// BatchPut implements State, one lock acquisition per touched shard.
+func (s *MemState) BatchPut(keys []string, values [][]byte) error {
+	var byShard [memShards][]int
+	for i, k := range keys {
+		si := shardIndex(k)
+		byShard[si] = append(byShard[si], i)
+	}
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			cp := make([]byte, len(values[i]))
+			copy(cp, values[i])
+			sh.m[keys[i]] = cp
+		}
+		sh.mu.Unlock()
+	}
+	s.puts.Add(int64(len(keys)))
+	return nil
+}
+
+// IncrFloat implements State with a read-modify-write under the shard
+// lock, mirroring the TDStore client's atomic counter primitive.
+func (s *MemState) IncrFloat(key string, delta float64) (float64, error) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v := 0.0
+	if cur, ok := sh.m[key]; ok {
+		var err error
+		if v, err = statecodec.DecodeFloat(cur); err != nil {
+			return 0, err
+		}
+	}
+	v += delta
+	sh.m[key] = statecodec.EncodeFloat(v)
+	s.gets.Add(1)
+	s.puts.Add(1)
+	return v, nil
 }
 
 // Ops returns the number of Get and Put calls served, for the cache and
@@ -158,6 +265,17 @@ func (ts *taskState) Put(key string, value []byte) error {
 	return ts.store.Put(key, value)
 }
 
+// putBatch write-throughs several owned keys at once: cache first, then
+// one store BatchPut.
+func (ts *taskState) putBatch(keys []string, values [][]byte) error {
+	if ts.cache != nil {
+		for i := range keys {
+			ts.cache.Put(keys[i], values[i])
+		}
+	}
+	return ts.store.BatchPut(keys, values)
+}
+
 // getCounter loads a windowed counter, returning a fresh one when absent.
 func (ts *taskState) getCounter(key string, w int) (*window.Counter, error) {
 	raw, ok, err := ts.Get(key)
@@ -201,6 +319,189 @@ func (ts *taskState) addCounter(key string, w int, session int64, delta float64)
 // another bolt, whose cache is the authoritative copy).
 func (ts *taskState) readCounterSum(key string, w int, session int64) (float64, error) {
 	raw, ok, err := ts.getForeign(key)
+	if err != nil {
+		return 0, err
+	}
+	c := window.NewCounter(w)
+	if ok {
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return 0, err
+		}
+	}
+	return c.Sum(session), nil
+}
+
+// stateBatch stages one flush interval's (or one tuple's) state access:
+// the key set is prefetched in bulk — owned keys through the cache,
+// foreign keys store-direct — reads and writes then run against the
+// staged view, and flush issues a single BatchPut for everything
+// written. Read-your-writes holds within the batch, so applying merged
+// combiner deltas in order is byte-identical to the key-by-key path.
+// A stateBatch belongs to one task and is not safe for concurrent use.
+type stateBatch struct {
+	ts    *taskState
+	vals  map[string][]byte
+	found map[string]bool
+	// known marks keys that were prefetched or written; reads of other
+	// keys fall back to single-key access.
+	known map[string]bool
+	// foreign marks keys that must never enter the task cache.
+	foreign map[string]bool
+	dirty   map[string]bool
+	order   []string
+}
+
+func (ts *taskState) newBatch() *stateBatch {
+	return &stateBatch{
+		ts:      ts,
+		vals:    make(map[string][]byte),
+		found:   make(map[string]bool),
+		known:   make(map[string]bool),
+		foreign: make(map[string]bool),
+		dirty:   make(map[string]bool),
+	}
+}
+
+// prefetch loads the given owned and foreign keys in bulk. Owned keys go
+// through the cache (one batched store read for the misses); foreign
+// keys go straight to the store. Duplicate keys are deduplicated.
+func (sb *stateBatch) prefetch(owned, foreign []string) error {
+	owned = sb.dedupe(owned, false)
+	foreign = sb.dedupe(foreign, true)
+	if sb.ts.cache != nil && len(owned) > 0 {
+		vals, found, err := sb.ts.cache.GetBatch(owned)
+		if err != nil {
+			return err
+		}
+		sb.fill(owned, vals, found)
+		owned = nil
+	}
+	// Cache disabled (or no owned keys): one combined store read covers
+	// both owned misses and foreign keys.
+	all := append(owned, foreign...)
+	if len(all) == 0 {
+		return nil
+	}
+	vals, found, err := sb.ts.store.BatchGet(all)
+	if err != nil {
+		return err
+	}
+	sb.fill(all, vals, found)
+	return nil
+}
+
+// dedupe filters keys already known to the batch and marks the rest.
+func (sb *stateBatch) dedupe(keys []string, foreign bool) []string {
+	out := keys[:0]
+	for _, k := range keys {
+		if sb.known[k] {
+			continue
+		}
+		sb.known[k] = true
+		if foreign {
+			sb.foreign[k] = true
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func (sb *stateBatch) fill(keys []string, vals [][]byte, found []bool) {
+	for i, k := range keys {
+		if found[i] {
+			sb.vals[k] = vals[i]
+			sb.found[k] = true
+		}
+	}
+}
+
+// get reads an owned key from the staged view, falling back to the
+// task's cached single-key path for keys outside the prefetched set.
+func (sb *stateBatch) get(key string) ([]byte, bool, error) {
+	if sb.known[key] {
+		return sb.vals[key], sb.found[key], nil
+	}
+	return sb.ts.Get(key)
+}
+
+// getForeign reads a foreign key from the staged view, falling back to
+// the store-direct single-key path.
+func (sb *stateBatch) getForeign(key string) ([]byte, bool, error) {
+	if sb.known[key] {
+		return sb.vals[key], sb.found[key], nil
+	}
+	return sb.ts.getForeign(key)
+}
+
+// put stages a write. The task cache is updated immediately (the same
+// write-through ordering as taskState.Put); the store write happens at
+// flush.
+func (sb *stateBatch) put(key string, value []byte) {
+	sb.vals[key] = value
+	sb.found[key] = true
+	sb.known[key] = true
+	if !sb.dirty[key] {
+		sb.dirty[key] = true
+		sb.order = append(sb.order, key)
+	}
+	if sb.ts.cache != nil && !sb.foreign[key] {
+		sb.ts.cache.Put(key, value)
+	}
+}
+
+// flush issues one BatchPut covering every staged write, in first-write
+// order. The batch can keep being used afterwards; subsequent writes
+// start a new dirty set.
+func (sb *stateBatch) flush() error {
+	if len(sb.order) == 0 {
+		return nil
+	}
+	keys := make([]string, len(sb.order))
+	vals := make([][]byte, len(sb.order))
+	for i, k := range sb.order {
+		keys[i] = k
+		vals[i] = sb.vals[k]
+	}
+	sb.order = sb.order[:0]
+	clear(sb.dirty)
+	return sb.ts.store.BatchPut(keys, vals)
+}
+
+// getCounter loads a windowed counter from the batch view.
+func (sb *stateBatch) getCounter(key string, w int) (*window.Counter, error) {
+	raw, ok, err := sb.get(key)
+	if err != nil {
+		return nil, err
+	}
+	c := window.NewCounter(w)
+	if ok {
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// addCounter applies a delta to a staged counter and returns the new
+// windowed sum.
+func (sb *stateBatch) addCounter(key string, w int, session int64, delta float64) (float64, error) {
+	c, err := sb.getCounter(key, w)
+	if err != nil {
+		return 0, err
+	}
+	c.Add(session, delta)
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	sb.put(key, raw)
+	return c.Sum(session), nil
+}
+
+// readCounterSum returns a foreign counter's windowed sum from the batch
+// view.
+func (sb *stateBatch) readCounterSum(key string, w int, session int64) (float64, error) {
+	raw, ok, err := sb.getForeign(key)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh - repo hygiene gate: vet, formatting, and race tests on the
+# state-bearing packages. Run via `make check` or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go test -race (topology, tdstore)"
+go test -race ./internal/topology/... ./internal/tdstore/...
+
+echo "check: OK"
