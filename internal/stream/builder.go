@@ -101,11 +101,13 @@ func (d *BoltDeclarer) add(source, stream string, g Grouping) *BoltDeclarer {
 // It mirrors Storm's TopologyBuilder; a built topology is what the paper
 // "submits to Storm for real-time computation" (§5.1).
 type TopologyBuilder struct {
-	name   string
-	spouts []*spoutDecl
-	bolts  []*boltDecl
-	config map[string]interface{}
-	errs   []error
+	name     string
+	spouts   []*spoutDecl
+	bolts    []*boltDecl
+	config   map[string]interface{}
+	maxBatch int
+	linger   time.Duration
+	errs     []error
 }
 
 // NewTopologyBuilder returns an empty builder for a topology with the
@@ -118,6 +120,21 @@ func NewTopologyBuilder(name string) *TopologyBuilder {
 // components through TopologyContext.Config.
 func (tb *TopologyBuilder) SetConfig(key string, value interface{}) *TopologyBuilder {
 	tb.config[key] = value
+	return tb
+}
+
+// SetMaxBatch overrides the transport's per-destination flush threshold
+// (DefaultMaxBatch). Smaller batches trade throughput for latency; 1
+// reproduces the old tuple-at-a-time hand-off.
+func (tb *TopologyBuilder) SetMaxBatch(n int) *TopologyBuilder {
+	tb.maxBatch = n
+	return tb
+}
+
+// SetLinger overrides the spout-side flush deadline (DefaultLinger) for
+// buffers below the batch threshold.
+func (tb *TopologyBuilder) SetLinger(d time.Duration) *TopologyBuilder {
+	tb.linger = d
 	return tb
 }
 
@@ -226,10 +243,12 @@ func (tb *TopologyBuilder) Build() (*Topology, error) {
 		}
 	}
 	t := &Topology{
-		Name:   tb.name,
-		spouts: tb.spouts,
-		bolts:  tb.bolts,
-		config: tb.config,
+		Name:     tb.name,
+		spouts:   tb.spouts,
+		bolts:    tb.bolts,
+		config:   tb.config,
+		maxBatch: tb.maxBatch,
+		linger:   tb.linger,
 	}
 	t.order = t.topoOrder()
 	return t, nil

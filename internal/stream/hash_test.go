@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"testing/quick"
+)
+
+// refHashValues is the pre-optimization reference implementation of the
+// grouping hash: FNV-1a over fmt "%v" rendering of each present field,
+// with a NUL separator folded after every field. hashValues must produce
+// bit-identical output so that fields-grouping task assignment is stable
+// across the optimization.
+func refHashValues(t *Tuple, fields Fields) uint64 {
+	h := fnv.New64a()
+	for _, f := range fields {
+		v, ok := t.TryValue(f)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "%v", v)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func TestHashValuesMatchesReference(t *testing.T) {
+	mk := func(vals Values, names Fields) *Tuple {
+		return &Tuple{Component: "c", Stream: DefaultStream, Values: vals, fields: names}
+	}
+	cases := []struct {
+		name   string
+		tuple  *Tuple
+		fields Fields
+	}{
+		{"string", mk(Values{"user-42"}, Fields{"k"}), Fields{"k"}},
+		{"empty string", mk(Values{""}, Fields{"k"}), Fields{"k"}},
+		{"int", mk(Values{12345}, Fields{"k"}), Fields{"k"}},
+		{"negative int", mk(Values{-7}, Fields{"k"}), Fields{"k"}},
+		{"int64", mk(Values{int64(1) << 40}, Fields{"k"}), Fields{"k"}},
+		{"int32", mk(Values{int32(-99)}, Fields{"k"}), Fields{"k"}},
+		{"uint", mk(Values{uint(88)}, Fields{"k"}), Fields{"k"}},
+		{"uint64", mk(Values{^uint64(0)}, Fields{"k"}), Fields{"k"}},
+		{"uint32", mk(Values{uint32(7)}, Fields{"k"}), Fields{"k"}},
+		{"float64", mk(Values{3.25}, Fields{"k"}), Fields{"k"}},
+		{"float64 small", mk(Values{0.000001220703125}, Fields{"k"}), Fields{"k"}},
+		{"float32", mk(Values{float32(1.5)}, Fields{"k"}), Fields{"k"}},
+		{"bool true", mk(Values{true}, Fields{"k"}), Fields{"k"}},
+		{"bool false", mk(Values{false}, Fields{"k"}), Fields{"k"}},
+		{"multi field", mk(Values{"item", 3, 2.5}, Fields{"a", "b", "c"}), Fields{"a", "b", "c"}},
+		{"subset of fields", mk(Values{"x", "y"}, Fields{"a", "b"}), Fields{"b"}},
+		{"missing field skipped", mk(Values{"x"}, Fields{"a"}), Fields{"a", "nope"}},
+		{"exotic fallback", mk(Values{[]int{1, 2}}, Fields{"k"}), Fields{"k"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := hashValues(c.tuple, c.fields)
+			want := refHashValues(c.tuple, c.fields)
+			if got != want {
+				t.Fatalf("hashValues = %#x, reference = %#x", got, want)
+			}
+		})
+	}
+}
+
+func TestHashValuesMatchesReferenceProperty(t *testing.T) {
+	f := func(s string, i int64, u uint64, fl float64, b bool) bool {
+		tu := &Tuple{
+			Values: Values{s, i, u, fl, b},
+			fields: Fields{"s", "i", "u", "f", "b"},
+		}
+		return hashValues(tu, tu.fields) == refHashValues(tu, tu.fields)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashValuesNoAllocs(t *testing.T) {
+	tu := &Tuple{
+		Values: Values{"user-12345", 987654321, 2.718281828, true},
+		fields: Fields{"user", "n", "w", "flag"},
+	}
+	fields := tu.fields
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = hashValues(tu, fields)
+	})
+	if allocs != 0 {
+		t.Fatalf("hashValues allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkHashValues(b *testing.B) {
+	tu := &Tuple{
+		Values: Values{"user-12345", 987654321, 2.718281828},
+		fields: Fields{"user", "n", "w"},
+	}
+	fields := tu.fields
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += hashValues(tu, fields)
+	}
+	_ = sink
+}

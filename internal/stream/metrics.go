@@ -8,30 +8,48 @@ import (
 	"time"
 )
 
-// componentMetrics holds live counters for one component.
+// metricsShard holds one task's counters. Each task updates only its own
+// shard, so the atomics are uncontended; the struct is padded to a cache
+// line so neighbouring tasks never false-share. The hot path batches
+// updates further: tasks accumulate plain local counters and fold them
+// into the shard once per transport flush, not once per tuple.
+type metricsShard struct {
+	emitted      atomic.Int64
+	executed     atomic.Int64
+	errors       atomic.Int64
+	executeNanos atomic.Int64
+	transferred  atomic.Int64
+	_            [24]byte // pad 5×8 bytes up to a 64-byte cache line
+}
+
+// componentMetrics holds the per-task shards of one component.
 type componentMetrics struct {
-	Emitted      atomic.Int64
-	Executed     atomic.Int64
-	Errors       atomic.Int64
-	ExecuteNanos atomic.Int64
+	shards []metricsShard
+	// ticksSkipped counts interval ticks dropped because a task queue
+	// was full. Written only by the component's ticker goroutine.
+	ticksSkipped atomic.Int64
 }
 
 // Metrics aggregates live counters for a running topology.
 type Metrics struct {
-	Transferred atomic.Int64
-	components  map[string]*componentMetrics
-	started     time.Time
+	components map[string]*componentMetrics
+	started    time.Time
 }
 
 func newMetrics(t *Topology) *Metrics {
 	m := &Metrics{components: make(map[string]*componentMetrics), started: time.Now()}
 	for _, name := range t.Components() {
-		m.components[name] = &componentMetrics{}
+		m.components[name] = &componentMetrics{shards: make([]metricsShard, t.Parallelism(name))}
 	}
 	return m
 }
 
 func (m *Metrics) component(name string) *componentMetrics { return m.components[name] }
+
+// shard returns the counter shard owned by one task of a component.
+func (m *Metrics) shard(name string, task int) *metricsShard {
+	return &m.components[name].shards[task]
+}
 
 // ComponentStats is a snapshot of one component's counters.
 type ComponentStats struct {
@@ -43,6 +61,9 @@ type ComponentStats struct {
 	Errors int64
 	// AvgExecute is the mean Execute latency.
 	AvgExecute time.Duration
+	// TicksSkipped counts interval ticks dropped because the task's
+	// input queue was full at tick time.
+	TicksSkipped int64
 }
 
 // MetricsSnapshot is a point-in-time view of topology metrics.
@@ -58,18 +79,22 @@ type MetricsSnapshot struct {
 
 func (m *Metrics) snapshot() *MetricsSnapshot {
 	s := &MetricsSnapshot{
-		Transferred: m.Transferred.Load(),
-		Uptime:      time.Since(m.started),
-		Components:  make(map[string]ComponentStats, len(m.components)),
+		Uptime:     time.Since(m.started),
+		Components: make(map[string]ComponentStats, len(m.components)),
 	}
 	for name, cm := range m.components {
-		st := ComponentStats{
-			Emitted:  cm.Emitted.Load(),
-			Executed: cm.Executed.Load(),
-			Errors:   cm.Errors.Load(),
+		st := ComponentStats{TicksSkipped: cm.ticksSkipped.Load()}
+		var nanos int64
+		for i := range cm.shards {
+			sh := &cm.shards[i]
+			st.Emitted += sh.emitted.Load()
+			st.Executed += sh.executed.Load()
+			st.Errors += sh.errors.Load()
+			nanos += sh.executeNanos.Load()
+			s.Transferred += sh.transferred.Load()
 		}
 		if st.Executed > 0 {
-			st.AvgExecute = time.Duration(cm.ExecuteNanos.Load() / st.Executed)
+			st.AvgExecute = time.Duration(nanos / st.Executed)
 		}
 		s.Components[name] = st
 	}
@@ -86,10 +111,10 @@ func (s *MetricsSnapshot) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime=%v transferred=%d\n", s.Uptime.Round(time.Millisecond), s.Transferred)
-	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s\n", "component", "emitted", "executed", "errors", "avg-exec")
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %10s\n", "component", "emitted", "executed", "errors", "avg-exec", "ticks-skip")
 	for _, n := range names {
 		c := s.Components[n]
-		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute)
+		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %10d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.TicksSkipped)
 	}
 	return b.String()
 }

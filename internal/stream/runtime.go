@@ -15,10 +15,12 @@ type Topology struct {
 	// Name identifies the topology, e.g. "cf-test" in the paper's Fig. 7.
 	Name string
 
-	spouts []*spoutDecl
-	bolts  []*boltDecl
-	config map[string]interface{}
-	order  []string // bolt names in topological order
+	spouts   []*spoutDecl
+	bolts    []*boltDecl
+	config   map[string]interface{}
+	order    []string // bolt names in topological order
+	maxBatch int
+	linger   time.Duration
 }
 
 // Components returns the names of all components, spouts first.
@@ -48,10 +50,26 @@ func (t *Topology) Parallelism(name string) int {
 	return 0
 }
 
-// inputQueueDepth bounds each task's input channel. Full channels exert
-// backpressure on upstream emitters, which is how the engine survives the
-// temporal burst events of §5.2 without unbounded memory growth.
-const inputQueueDepth = 1024
+// inputQueueDepth bounds each task's input channel, in batches. Full
+// channels exert backpressure on upstream emitters, which is how the
+// engine survives the temporal burst events of §5.2 without unbounded
+// memory growth (a task buffers at most depth × DefaultMaxBatch tuples).
+const inputQueueDepth = 256
+
+// DefaultMaxBatch is the per-destination flush threshold for the
+// micro-batched transport: a destination buffer that reaches this many
+// tuples is handed to the destination task as one channel send.
+const DefaultMaxBatch = 64
+
+// DefaultLinger bounds how long a spout-side buffer may hold tuples
+// below the batch threshold before being flushed anyway, so trickle
+// traffic still sees low delivery latency.
+const DefaultLinger = time.Millisecond
+
+// metricsFlushBatches bounds how many input batches a saturated bolt may
+// process before folding its local counters into the shared metrics
+// shards, so snapshots stay fresh under sustained load.
+const metricsFlushBatches = 16
 
 type ctrlMsg int
 
@@ -69,7 +87,7 @@ type task struct {
 	component string
 	index     int
 	isSpout   bool
-	in        chan *Tuple
+	in        chan []*Tuple
 	ctrl      chan ctrlMsg
 	rng       *rand.Rand
 	rt        *runtime
@@ -78,13 +96,15 @@ type task struct {
 
 // runtime is a single execution of a topology.
 type runtime struct {
-	topo    *Topology
-	tasks   map[string][]*task
-	edges   map[string]map[string][]*edge // source -> stream -> edges
-	fields  map[string]map[string]Fields  // source -> stream -> field names
-	pending atomic.Int64
-	metrics *Metrics
-	onError func(component string, err error)
+	topo     *Topology
+	tasks    map[string][]*task
+	edges    map[string]map[string][]*edge // source -> stream -> edges
+	fields   map[string]map[string]Fields  // source -> stream -> field names
+	pending  atomic.Int64
+	metrics  *Metrics
+	onError  func(component string, err error)
+	maxBatch int
+	linger   time.Duration
 
 	spoutStop  chan struct{} // closed to ask spouts to stop early
 	tickerStop chan struct{}
@@ -93,11 +113,69 @@ type runtime struct {
 	spoutWG    sync.WaitGroup
 }
 
-// collector routes a task's emissions to downstream tasks.
+// edgeBuf accumulates routed tuples for one edge, one buffer per
+// destination task, until a flush hands the whole batch over.
+type edgeBuf struct {
+	edge *edge
+	bufs [][]*Tuple
+}
+
+// streamOut is a component's compiled output for one stream id.
+type streamOut struct {
+	fields Fields
+	edges  []*edgeBuf
+}
+
+// collector routes a task's emissions to downstream tasks in
+// micro-batches. It also carries the task's batched bookkeeping: local
+// metric counters folded into the task's metrics shard at flush time,
+// and the executed-tuple acks subtracted from the runtime's pending
+// count once the emissions they produced have been enqueued.
+//
+// Flush rules (see DESIGN.md): a destination buffer flushes when it
+// reaches maxBatch tuples; everything flushes when a bolt empties its
+// input queue, when a spout polls idle or exceeds the linger deadline,
+// and on every task exit path.
 type collector struct {
 	task     *task
 	rt       *runtime
+	sm       *metricsShard
+	maxBatch int
+	outs     map[string]*streamOut
+	list     []*streamOut
 	routeBuf []int
+	spanBuf  []int // routeBuf prefix lengths per edge, multi-edge emits
+	buffered int   // tuples currently sitting in edge buffers
+
+	// local counters, folded into sm by flushAll
+	emitted      int64
+	transferred  int64
+	executed     int64
+	errors       int64
+	executeNanos int64
+	acked        int64 // executed input tuples not yet subtracted from pending
+
+	lastFlush time.Time
+}
+
+func newCollector(tk *task, rt *runtime) *collector {
+	c := &collector{
+		task:      tk,
+		rt:        rt,
+		sm:        rt.metrics.shard(tk.component, tk.index),
+		maxBatch:  rt.maxBatch,
+		outs:      make(map[string]*streamOut),
+		lastFlush: time.Now(),
+	}
+	for stream, fields := range rt.fields[tk.component] {
+		so := &streamOut{fields: fields}
+		for _, e := range rt.edges[tk.component][stream] {
+			so.edges = append(so.edges, &edgeBuf{edge: e, bufs: make([][]*Tuple, len(e.tasks))})
+		}
+		c.outs[stream] = so
+		c.list = append(c.list, so)
+	}
+	return c
 }
 
 // Emit implements Collector.
@@ -105,20 +183,108 @@ func (c *collector) Emit(values Values) { c.EmitTo(DefaultStream, values) }
 
 // EmitTo implements Collector.
 func (c *collector) EmitTo(stream string, values Values) {
-	rt := c.rt
-	fields := rt.fields[c.task.component][stream]
-	t := &Tuple{Component: c.task.component, Stream: stream, Values: values, fields: fields}
-	rt.metrics.component(c.task.component).Emitted.Add(1)
-	edges := rt.edges[c.task.component][stream]
-	for _, e := range edges {
-		c.routeBuf = c.routeBuf[:0]
-		c.routeBuf = e.group.route(t, len(e.tasks), c.task.rng, c.routeBuf)
+	c.emitted++
+	out := c.outs[stream]
+	if out == nil || len(out.edges) == 0 {
+		return // no subscribers: dropped, as before
+	}
+	t := getTuple(c.task.component, stream, values, out.fields)
+	if len(out.edges) == 1 {
+		eb := out.edges[0]
+		c.routeBuf = eb.edge.group.route(t, len(eb.edge.tasks), c.task.rng, c.routeBuf[:0])
+		t.refs.Store(int32(len(c.routeBuf)))
 		for _, i := range c.routeBuf {
-			rt.pending.Add(1)
-			rt.metrics.Transferred.Add(1)
-			e.tasks[i].in <- t
+			c.deliver(eb, i, t)
+		}
+		return
+	}
+	// Multi-edge emit: route against every edge before the first append,
+	// because an append can flush a full buffer and the tuple must not be
+	// released downstream while deliveries are still being counted.
+	c.routeBuf = c.routeBuf[:0]
+	c.spanBuf = c.spanBuf[:0]
+	for _, eb := range out.edges {
+		c.routeBuf = eb.edge.group.route(t, len(eb.edge.tasks), c.task.rng, c.routeBuf)
+		c.spanBuf = append(c.spanBuf, len(c.routeBuf))
+	}
+	t.refs.Store(int32(len(c.routeBuf)))
+	pos := 0
+	for k, eb := range out.edges {
+		for _, i := range c.routeBuf[pos:c.spanBuf[k]] {
+			c.deliver(eb, i, t)
+		}
+		pos = c.spanBuf[k]
+	}
+}
+
+// deliver appends one routed tuple to a destination buffer, flushing the
+// buffer if it reached the batch threshold.
+func (c *collector) deliver(eb *edgeBuf, i int, t *Tuple) {
+	c.transferred++
+	eb.bufs[i] = append(eb.bufs[i], t)
+	c.buffered++
+	if len(eb.bufs[i]) >= c.maxBatch {
+		c.flushDest(eb, i)
+	}
+}
+
+// flushDest hands one destination's buffered tuples to its task as a
+// single batch. Pending is bumped once per batch, before the send, so
+// quiescence detection never undercounts in-flight tuples.
+func (c *collector) flushDest(eb *edgeBuf, i int) {
+	buf := eb.bufs[i]
+	if len(buf) == 0 {
+		return
+	}
+	eb.bufs[i] = make([]*Tuple, 0, c.maxBatch)
+	c.buffered -= len(buf)
+	c.rt.pending.Add(int64(len(buf)))
+	eb.edge.tasks[i].in <- buf
+}
+
+// flushAll drains every destination buffer, folds the local metric
+// counters into the task's shard, and acknowledges executed input
+// tuples. The order matters: emissions enter downstream queues (pending
+// += n) before their causes are acknowledged (pending -= acked), so the
+// pending count can only reach zero when no tuple or its consequences
+// are anywhere in flight.
+func (c *collector) flushAll() {
+	if c.buffered > 0 {
+		for _, so := range c.list {
+			for _, eb := range so.edges {
+				for i := range eb.bufs {
+					if len(eb.bufs[i]) > 0 {
+						c.flushDest(eb, i)
+					}
+				}
+			}
 		}
 	}
+	if c.emitted != 0 {
+		c.sm.emitted.Add(c.emitted)
+		c.emitted = 0
+	}
+	if c.transferred != 0 {
+		c.sm.transferred.Add(c.transferred)
+		c.transferred = 0
+	}
+	if c.executed != 0 {
+		c.sm.executed.Add(c.executed)
+		c.executed = 0
+	}
+	if c.errors != 0 {
+		c.sm.errors.Add(c.errors)
+		c.errors = 0
+	}
+	if c.executeNanos != 0 {
+		c.sm.executeNanos.Add(c.executeNanos)
+		c.executeNanos = 0
+	}
+	if c.acked != 0 {
+		c.rt.pending.Add(-c.acked)
+		c.acked = 0
+	}
+	c.lastFlush = time.Now()
 }
 
 func newRuntime(t *Topology, onError func(string, error)) *runtime {
@@ -132,8 +298,16 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 		fields:     make(map[string]map[string]Fields),
 		metrics:    newMetrics(t),
 		onError:    onError,
+		maxBatch:   t.maxBatch,
+		linger:     t.linger,
 		spoutStop:  make(chan struct{}),
 		tickerStop: make(chan struct{}),
+	}
+	if rt.maxBatch <= 0 {
+		rt.maxBatch = DefaultMaxBatch
+	}
+	if rt.linger <= 0 {
+		rt.linger = DefaultLinger
 	}
 	seed := int64(1)
 	mkTasks := func(name string, n int, isSpout bool) {
@@ -143,7 +317,7 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 				component: name,
 				index:     i,
 				isSpout:   isSpout,
-				in:        make(chan *Tuple, inputQueueDepth),
+				in:        make(chan []*Tuple, inputQueueDepth),
 				ctrl:      make(chan ctrlMsg, 4),
 				rng:       rand.New(rand.NewSource(seed)),
 				rt:        rt,
@@ -189,7 +363,8 @@ func (rt *runtime) ctx(name string, index, n int) TopologyContext {
 // runSpoutTask drives one spout instance until exhaustion or stop.
 func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 	defer rt.spoutWG.Done()
-	col := &collector{task: tk, rt: rt}
+	col := newCollector(tk, rt)
+	defer col.flushAll() // buffered emissions leave on every return path
 	sp := decl.factory()
 	if err := sp.Open(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
 		rt.onError(decl.name, fmt.Errorf("open: %w", err))
@@ -202,6 +377,7 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 			return
 		case m := <-tk.ctrl:
 			if m == ctrlRestart {
+				col.flushAll() // the old instance's emissions leave first
 				sp.Close()
 				sp = decl.factory()
 				tk.restarts.Add(1)
@@ -211,25 +387,78 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 				}
 			}
 		default:
+			e0 := col.emitted
 			if !sp.NextTuple() {
 				return
+			}
+			// Idle poll (nothing emitted) or linger expiry: hand over
+			// whatever is buffered so trickle traffic is not delayed.
+			// Local counters are folded too even when the buffers are
+			// empty (threshold flushes may have drained them), so
+			// metric readers like System.Drain never see an idle spout
+			// with emissions unaccounted for.
+			if (col.buffered > 0 || col.emitted != 0) && (col.emitted == e0 || time.Since(col.lastFlush) >= rt.linger) {
+				col.flushAll()
 			}
 		}
 	}
 }
 
+// execBatch runs the bolt over one received batch, timing the batch as a
+// whole and releasing each tuple to the free list after execution.
+func (rt *runtime) execBatch(decl *boltDecl, b Bolt, col *collector, batch []*Tuple) {
+	start := time.Now()
+	for _, tup := range batch {
+		if err := b.Execute(tup); err != nil {
+			col.errors++
+			rt.onError(decl.name, err)
+		}
+		tup.release()
+	}
+	col.executed += int64(len(batch))
+	col.executeNanos += time.Since(start).Nanoseconds()
+	col.acked += int64(len(batch))
+}
+
+// drainInput unblocks upstream senders after a failed Prepare: batches
+// are consumed, released, and acknowledged without execution.
+func (rt *runtime) drainInput(tk *task) {
+	for batch := range tk.in {
+		for _, tup := range batch {
+			tup.release()
+		}
+		rt.pending.Add(-int64(len(batch)))
+	}
+}
+
+// restartBolt swaps in a fresh bolt instance after simulated worker
+// failure: the instance and all its in-memory state are discarded; a
+// fresh stateless instance resumes from the same queue (§3.1, §3.3).
+func (rt *runtime) restartBolt(decl *boltDecl, tk *task, col *collector, b Bolt) (Bolt, bool) {
+	b.Cleanup()
+	nb := decl.factory()
+	tk.restarts.Add(1)
+	if err := nb.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+		rt.onError(decl.name, fmt.Errorf("re-prepare: %w", err))
+		col.flushAll() // do not strand pre-crash emissions or acks
+		rt.drainInput(tk)
+		return nil, false
+	}
+	return nb, true
+}
+
 // runBoltTask drives one bolt instance until its input channel closes.
+// It iterates whole batches per channel receive and keeps consuming as
+// long as input is immediately available, flushing its own emissions
+// when the queue momentarily empties.
 func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 	defer rt.taskWG.Done()
-	col := &collector{task: tk, rt: rt}
-	cm := rt.metrics.component(decl.name)
+	col := newCollector(tk, rt)
+	defer col.flushAll()
 	b := decl.factory()
 	if err := b.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
 		rt.onError(decl.name, fmt.Errorf("prepare: %w", err))
-		// Keep draining so upstream does not block forever.
-		for range tk.in {
-			rt.pending.Add(-1)
-		}
+		rt.drainInput(tk)
 		return
 	}
 	defer func() { b.Cleanup() }()
@@ -237,32 +466,44 @@ func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 		select {
 		case m := <-tk.ctrl:
 			if m == ctrlRestart {
-				// Simulated worker crash: the instance and all its
-				// in-memory state are discarded; a fresh stateless
-				// instance resumes from the same queue (§3.1, §3.3).
-				b.Cleanup()
-				b = decl.factory()
-				tk.restarts.Add(1)
-				if err := b.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
-					rt.onError(decl.name, fmt.Errorf("re-prepare: %w", err))
-					for range tk.in {
-						rt.pending.Add(-1)
-					}
+				var ok bool
+				if b, ok = rt.restartBolt(decl, tk, col, b); !ok {
 					return
 				}
 			}
-		case tup, ok := <-tk.in:
+		case batch, ok := <-tk.in:
 			if !ok {
 				return
 			}
-			start := time.Now()
-			if err := b.Execute(tup); err != nil {
-				cm.Errors.Add(1)
-				rt.onError(decl.name, err)
+			streak := 0
+			for batch != nil {
+				// Poll for a restart between batches so fault injection
+				// is not starved while the queue stays busy.
+				select {
+				case m := <-tk.ctrl:
+					if m == ctrlRestart {
+						var okr bool
+						if b, okr = rt.restartBolt(decl, tk, col, b); !okr {
+							return
+						}
+					}
+				default:
+				}
+				rt.execBatch(decl, b, col, batch)
+				if streak++; streak >= metricsFlushBatches {
+					col.flushAll()
+					streak = 0
+				}
+				select {
+				case batch, ok = <-tk.in:
+					if !ok {
+						return // defer flushes metrics; buffers are empty at close
+					}
+				default:
+					batch = nil
+				}
 			}
-			cm.Executed.Add(1)
-			cm.ExecuteNanos.Add(time.Since(start).Nanoseconds())
-			rt.pending.Add(-1)
+			col.flushAll()
 		}
 	}
 }
@@ -270,7 +511,10 @@ func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 // runTicker delivers tick tuples to every task of a bolt at its interval.
 func (rt *runtime) runTicker(decl *boltDecl) {
 	defer rt.tickerWG.Done()
-	tick := &Tuple{Component: decl.name, Stream: TickStream}
+	cm := rt.metrics.component(decl.name)
+	// One shared single-tuple batch: consumers only read it and the tick
+	// tuple is unpooled, so reuse across tasks and intervals is safe.
+	batch := []*Tuple{{Component: decl.name, Stream: TickStream}}
 	tm := time.NewTicker(decl.tick)
 	defer tm.Stop()
 	for {
@@ -281,11 +525,12 @@ func (rt *runtime) runTicker(decl *boltDecl) {
 			for _, tk := range rt.tasks[decl.name] {
 				rt.pending.Add(1)
 				select {
-				case tk.in <- tick:
+				case tk.in <- batch:
 				default:
 					// Queue full: the task is saturated with real
 					// tuples; skip this tick rather than block.
 					rt.pending.Add(-1)
+					cm.ticksSkipped.Add(1)
 				}
 			}
 		}
@@ -305,19 +550,28 @@ func (rt *runtime) flushTicks() {
 		if decl.tick <= 0 {
 			continue
 		}
-		tick := &Tuple{Component: name, Stream: TickStream, Values: Values{"final"}}
+		batch := []*Tuple{{Component: name, Stream: TickStream, Values: Values{"final"}}}
 		for _, tk := range rt.tasks[name] {
 			rt.pending.Add(1)
-			tk.in <- tick
+			tk.in <- batch
 		}
 		rt.waitQuiescent()
 	}
 }
 
-// waitQuiescent blocks until no tuples are queued or executing.
+// waitQuiescent blocks until no tuples are queued or executing, backing
+// off exponentially from 10µs to 2ms so an idle topology does not spin.
 func (rt *runtime) waitQuiescent() {
+	const maxBackoff = 2 * time.Millisecond
+	d := 10 * time.Microsecond
 	for rt.pending.Load() != 0 {
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(d)
+		if d < maxBackoff {
+			d *= 2
+			if d > maxBackoff {
+				d = maxBackoff
+			}
+		}
 	}
 }
 

@@ -523,6 +523,9 @@ func TestMetricsSnapshotString(t *testing.T) {
 	if s == "" || !contains(s, "spout") || !contains(s, "sink") {
 		t.Fatalf("snapshot string missing components: %q", s)
 	}
+	if !contains(s, "ticks-skip") {
+		t.Fatalf("snapshot string missing ticks-skip column: %q", s)
+	}
 }
 
 func contains(s, sub string) bool {

@@ -21,11 +21,19 @@
 // Workers are goroutines rather than processes, and routing is by channel
 // rather than by network, but the visible semantics — partitioning,
 // ordering per key, at-most-one-writer per key, restartability — match.
+//
+// Tuples move between tasks in micro-batches: the collector accumulates
+// routed tuples into per-destination buffers and hands a whole []*Tuple
+// to the destination task per channel operation, amortizing the
+// synchronization cost the same way the paper's combiner amortizes store
+// writes (§5.3). See DESIGN.md for the flush rules.
 package stream
 
 import (
 	"fmt"
-	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Values is the payload of a tuple: an ordered list of field values.
@@ -52,6 +60,11 @@ const DefaultStream = "default"
 const TickStream = "__tick"
 
 // Tuple is a single unit of data flowing through a topology.
+//
+// Tuples delivered to a bolt are owned by the engine and recycled after
+// Execute returns: a bolt that needs a field value beyond Execute must
+// copy the value out (values obtained via Value/TryValue are safe to
+// retain; the *Tuple itself and its Values slice are not).
 type Tuple struct {
 	// Component is the name of the component that emitted the tuple.
 	Component string
@@ -61,6 +74,38 @@ type Tuple struct {
 	Values Values
 
 	fields Fields
+
+	// refs counts outstanding deliveries of a pooled tuple; the task
+	// that executes the last delivery returns the tuple to the pool.
+	refs atomic.Int32
+	// pooled marks tuples drawn from tuplePool. Tick tuples and
+	// hand-built tuples are never recycled.
+	pooled bool
+}
+
+// tuplePool is the free list behind the allocation-free emit path.
+var tuplePool = sync.Pool{New: func() interface{} { return new(Tuple) }}
+
+// getTuple draws a recycled tuple from the free list.
+func getTuple(component, stream string, values Values, fields Fields) *Tuple {
+	t := tuplePool.Get().(*Tuple)
+	t.Component, t.Stream, t.Values, t.fields = component, stream, values, fields
+	t.pooled = true
+	return t
+}
+
+// release records that one delivery of the tuple has been executed and
+// recycles the tuple once no deliveries remain. No-op for unpooled
+// (tick, hand-built) tuples.
+func (t *Tuple) release() {
+	if !t.pooled {
+		return
+	}
+	if t.refs.Add(-1) == 0 {
+		t.Values = nil
+		t.fields = nil
+		tuplePool.Put(t)
+	}
 }
 
 // IsTick reports whether the tuple is an engine-generated tick tuple.
@@ -94,22 +139,84 @@ func (t *Tuple) TryValue(field string) (interface{}, bool) {
 	return t.Values[i], true
 }
 
-// String returns the value of the named field as a string.
-func (t *Tuple) String2(field string) string { s, _ := t.Value(field).(string); return s }
+// Str returns the value of the named field as a string.
+func (t *Tuple) Str(field string) string { s, _ := t.Value(field).(string); return s }
+
+// String2 returns the value of the named field as a string.
+//
+// Deprecated: use Str.
+func (t *Tuple) String2(field string) string { return t.Str(field) }
 
 // Fields returns the field names of the tuple.
 func (t *Tuple) Fields() Fields { return t.fields }
 
+// FNV-1a, inlined so grouping never allocates a hash.Hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
 // hashValues computes a stable hash over the selected grouping fields,
-// used by fields grouping to pick a destination task.
+// used by fields grouping to pick a destination task. The common scalar
+// types are folded through a type switch that produces exactly the bytes
+// fmt "%v" formatting would, without the reflection or the allocations.
 func hashValues(t *Tuple, fields Fields) uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, f := range fields {
 		v, ok := t.TryValue(f)
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(h, "%v\x00", v)
+		h = hashValue(h, v)
+		h *= fnvPrime64 // fold the '\x00' field separator (h ^ 0 == h)
 	}
-	return h.Sum64()
+	return h
+}
+
+// hashValue folds one grouping value into the running FNV-1a state.
+// The scratch buffer stays on the stack, so the switch arms are
+// allocation-free; only exotic value types fall back to fmt.
+func hashValue(h uint64, v interface{}) uint64 {
+	var scratch [32]byte
+	switch x := v.(type) {
+	case string:
+		return fnvString(h, x)
+	case int:
+		return fnvBytes(h, strconv.AppendInt(scratch[:0], int64(x), 10))
+	case int64:
+		return fnvBytes(h, strconv.AppendInt(scratch[:0], x, 10))
+	case int32:
+		return fnvBytes(h, strconv.AppendInt(scratch[:0], int64(x), 10))
+	case uint:
+		return fnvBytes(h, strconv.AppendUint(scratch[:0], uint64(x), 10))
+	case uint64:
+		return fnvBytes(h, strconv.AppendUint(scratch[:0], x, 10))
+	case uint32:
+		return fnvBytes(h, strconv.AppendUint(scratch[:0], uint64(x), 10))
+	case float64:
+		return fnvBytes(h, strconv.AppendFloat(scratch[:0], x, 'g', -1, 64))
+	case float32:
+		return fnvBytes(h, strconv.AppendFloat(scratch[:0], float64(x), 'g', -1, 32))
+	case bool:
+		if x {
+			return fnvString(h, "true")
+		}
+		return fnvString(h, "false")
+	default:
+		return fnvString(h, fmt.Sprintf("%v", x))
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"tencentrec/internal/combiner"
 	"tencentrec/internal/core"
@@ -25,9 +26,11 @@ const (
 )
 
 // combKey packs a counter key with its session for combiner buffering;
-// deltas from different sessions must not merge.
+// deltas from different sessions must not merge. It runs on every
+// counter delta, so it formats without fmt's reflection.
 func combKey(key string, session int64) string {
-	return fmt.Sprintf("%s@%d", key, session)
+	var buf [20]byte
+	return key + "@" + string(strconv.AppendInt(buf[:0], session, 10))
 }
 
 // flushedDelta is one combiner output entry, ungrouped for ordered apply.
@@ -59,8 +62,7 @@ func drainCombiner(c *combiner.Combiner) []flushedDelta {
 func splitCombKey(ck string) (string, int64) {
 	for i := len(ck) - 1; i >= 0; i-- {
 		if ck[i] == '@' {
-			var session int64
-			fmt.Sscanf(ck[i+1:], "%d", &session)
+			session, _ := strconv.ParseInt(ck[i+1:], 10, 64)
 			return ck[:i], session
 		}
 	}
@@ -427,8 +429,9 @@ func (b *PairCountBolt) Execute(t *stream.Tuple) error {
 		return nil // Algorithm 1 line 3-5: skip items in Li
 	}
 	if b.comb != nil {
-		b.comb.Add(combKey(pair, session), delta)
-		b.nCom.Add(combKey(pair, session), 1)
+		ck := combKey(pair, session)
+		b.comb.Add(ck, delta)
+		b.nCom.Add(ck, 1)
 		return nil
 	}
 	sb, err := b.newPairBatch([]string{pair})
@@ -695,6 +698,13 @@ type ResultStorageBolt struct {
 	p      Params
 	st     *taskState
 	prefix string // list key prefix (similar items or AR rules)
+	// lists caches decoded lists for the items this task owns (fields
+	// grouping makes it the only writer), so a burst of sim updates to
+	// one item decodes the list once instead of once per tuple. Bounded
+	// by clearing when full; restart safety comes from the store, not
+	// the cache.
+	lists    map[string]storedList
+	listsCap int
 }
 
 // NewResultStorageBolt returns the bolt factory for similar-items lists.
@@ -710,6 +720,10 @@ func (b *ResultStorageBolt) Prepare(ctx stream.TopologyContext, _ stream.Collect
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	if b.listsCap = b.p.CacheSize; b.listsCap < 0 {
+		b.listsCap = 0
+	}
+	b.lists = make(map[string]storedList)
 	return nil
 }
 
@@ -721,17 +735,25 @@ func (b *ResultStorageBolt) Execute(t *stream.Tuple) error {
 	item := t.Value("item").(string)
 	other := t.Value("other").(string)
 	sim := t.Value("sim").(float64)
-	raw, ok, err := b.st.Get(b.prefix + item)
-	if err != nil {
-		return err
-	}
-	var list storedList
-	if ok {
-		if list, err = decodeList(raw); err != nil {
+	list, cached := b.lists[item]
+	if !cached {
+		raw, ok, err := b.st.Get(b.prefix + item)
+		if err != nil {
 			return err
+		}
+		if ok {
+			if list, err = decodeList(raw); err != nil {
+				return err
+			}
 		}
 	}
 	list, thr := updateStoredList(list, other, sim, b.p.TopK)
+	if b.listsCap > 0 {
+		if len(b.lists) >= b.listsCap {
+			b.lists = make(map[string]storedList) // full: start over
+		}
+		b.lists[item] = list
+	}
 	if b.prefix == prefixSimilar {
 		// The list and its threshold land in one batched write: readers
 		// of the pruning test never observe a list without its threshold.

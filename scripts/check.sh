@@ -16,7 +16,10 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "== go test -race (topology, tdstore)"
-go test -race ./internal/topology/... ./internal/tdstore/...
+echo "== go test -race (stream, topology, tdstore)"
+go test -race ./internal/stream/... ./internal/topology/... ./internal/tdstore/...
+
+echo "== transport benchmarks (smoke)"
+go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/
 
 echo "check: OK"
