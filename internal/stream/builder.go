@@ -101,13 +101,15 @@ func (d *BoltDeclarer) add(source, stream string, g Grouping) *BoltDeclarer {
 // It mirrors Storm's TopologyBuilder; a built topology is what the paper
 // "submits to Storm for real-time computation" (§5.1).
 type TopologyBuilder struct {
-	name     string
-	spouts   []*spoutDecl
-	bolts    []*boltDecl
-	config   map[string]interface{}
-	maxBatch int
-	linger   time.Duration
-	errs     []error
+	name       string
+	spouts     []*spoutDecl
+	bolts      []*boltDecl
+	config     map[string]interface{}
+	maxBatch   int
+	linger     time.Duration
+	acking     bool
+	ackTimeout time.Duration
+	errs       []error
 }
 
 // NewTopologyBuilder returns an empty builder for a topology with the
@@ -135,6 +137,22 @@ func (tb *TopologyBuilder) SetMaxBatch(n int) *TopologyBuilder {
 // buffers below the batch threshold.
 func (tb *TopologyBuilder) SetLinger(d time.Duration) *TopologyBuilder {
 	tb.linger = d
+	return tb
+}
+
+// SetAcking enables Storm-style at-least-once delivery: anchored spout
+// emissions are tracked by an XOR-lineage acker and acknowledged or
+// failed back to the spout (see ack.go). Off by default; with acking off
+// the transport's shared-tuple fast path is unchanged.
+func (tb *TopologyBuilder) SetAcking(on bool) *TopologyBuilder {
+	tb.acking = on
+	return tb
+}
+
+// SetAckTimeout overrides the per-root ack timeout (DefaultAckTimeout)
+// after which an incomplete lineage is failed back to its spout.
+func (tb *TopologyBuilder) SetAckTimeout(d time.Duration) *TopologyBuilder {
+	tb.ackTimeout = d
 	return tb
 }
 
@@ -243,12 +261,14 @@ func (tb *TopologyBuilder) Build() (*Topology, error) {
 		}
 	}
 	t := &Topology{
-		Name:     tb.name,
-		spouts:   tb.spouts,
-		bolts:    tb.bolts,
-		config:   tb.config,
-		maxBatch: tb.maxBatch,
-		linger:   tb.linger,
+		Name:       tb.name,
+		spouts:     tb.spouts,
+		bolts:      tb.bolts,
+		config:     tb.config,
+		maxBatch:   tb.maxBatch,
+		linger:     tb.linger,
+		acking:     tb.acking,
+		ackTimeout: tb.ackTimeout,
 	}
 	t.order = t.topoOrder()
 	return t, nil

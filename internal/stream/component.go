@@ -14,6 +14,10 @@ type TopologyContext struct {
 	// Config holds arbitrary topology-level configuration values,
 	// e.g. store endpoints, shared by all components.
 	Config map[string]interface{}
+	// Acking reports whether the topology runs with at-least-once
+	// delivery enabled (TopologyBuilder.SetAcking). Spouts use it to
+	// decide whether to hold emitted messages for replay.
+	Acking bool
 }
 
 // Collector is how bolts emit tuples downstream.
@@ -29,6 +33,33 @@ type Collector interface {
 // SpoutCollector is how spouts emit tuples into the topology.
 type SpoutCollector interface {
 	Collector
+	// EmitAnchored sends values on the default stream anchored to the
+	// given spout message id: the engine tracks the tuple and everything
+	// transitively emitted while processing it, and eventually reports
+	// exactly one of Ack(id) or Fail(id) back to the spout. When acking
+	// is disabled, or the spout does not implement AckingSpout, it
+	// behaves exactly like Emit.
+	EmitAnchored(msgID interface{}, values Values)
+	// EmitAnchoredTo is EmitAnchored on a named stream.
+	EmitAnchoredTo(stream string, msgID interface{}, values Values)
+}
+
+// AckingSpout is a Spout that participates in at-least-once delivery:
+// messages it emits with EmitAnchored are either acknowledged once fully
+// processed or failed (on drop or ack timeout), in which case the spout
+// is expected to replay the message by re-emitting it. Both callbacks run
+// on the spout task's goroutine, between NextTuple calls, and must
+// tolerate ids the instance does not know (a restarted instance may
+// receive results for its predecessor's messages).
+type AckingSpout interface {
+	Spout
+	// Ack reports that the message anchored with this id — and every
+	// tuple transitively derived from it — was executed.
+	Ack(msgID interface{})
+	// Fail reports that some tuple derived from the message was dropped
+	// without execution, or that the lineage did not complete within the
+	// ack timeout.
+	Fail(msgID interface{})
 }
 
 // Spout produces the input streams of a topology (§5.1: "A spout is

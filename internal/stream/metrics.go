@@ -28,6 +28,13 @@ type componentMetrics struct {
 	// ticksSkipped counts interval ticks dropped because a task queue
 	// was full. Written only by the component's ticker goroutine.
 	ticksSkipped atomic.Int64
+	// dropped counts data tuples a task discarded without executing them
+	// (drainInput after a failed restart).
+	dropped atomic.Int64
+	// failed counts anchored spout messages reported back to this
+	// (spout) component as failed, by drop or by ack timeout. Written by
+	// the acker goroutine.
+	failed atomic.Int64
 }
 
 // Metrics aggregates live counters for a running topology.
@@ -64,6 +71,14 @@ type ComponentStats struct {
 	// TicksSkipped counts interval ticks dropped because the task's
 	// input queue was full at tick time.
 	TicksSkipped int64
+	// Dropped counts data tuples discarded without execution when a task
+	// failed to restart and drained its queue. Always zero on a healthy
+	// run.
+	Dropped int64
+	// Failed counts anchored spout messages failed back to this spout
+	// (a tuple in the lineage was dropped, or the ack timeout fired).
+	// Only ever non-zero on spouts, and only with acking enabled.
+	Failed int64
 }
 
 // MetricsSnapshot is a point-in-time view of topology metrics.
@@ -83,7 +98,11 @@ func (m *Metrics) snapshot() *MetricsSnapshot {
 		Components: make(map[string]ComponentStats, len(m.components)),
 	}
 	for name, cm := range m.components {
-		st := ComponentStats{TicksSkipped: cm.ticksSkipped.Load()}
+		st := ComponentStats{
+			TicksSkipped: cm.ticksSkipped.Load(),
+			Dropped:      cm.dropped.Load(),
+			Failed:       cm.failed.Load(),
+		}
 		var nanos int64
 		for i := range cm.shards {
 			sh := &cm.shards[i]
@@ -111,10 +130,10 @@ func (s *MetricsSnapshot) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime=%v transferred=%d\n", s.Uptime.Round(time.Millisecond), s.Transferred)
-	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %10s\n", "component", "emitted", "executed", "errors", "avg-exec", "ticks-skip")
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %10s %8s %8s\n", "component", "emitted", "executed", "errors", "avg-exec", "ticks-skip", "dropped", "failed")
 	for _, n := range names {
 		c := s.Components[n]
-		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %10d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.TicksSkipped)
+		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %10d %8d %8d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.TicksSkipped, c.Dropped, c.Failed)
 	}
 	return b.String()
 }

@@ -15,12 +15,14 @@ type Topology struct {
 	// Name identifies the topology, e.g. "cf-test" in the paper's Fig. 7.
 	Name string
 
-	spouts   []*spoutDecl
-	bolts    []*boltDecl
-	config   map[string]interface{}
-	order    []string // bolt names in topological order
-	maxBatch int
-	linger   time.Duration
+	spouts     []*spoutDecl
+	bolts      []*boltDecl
+	config     map[string]interface{}
+	order      []string // bolt names in topological order
+	maxBatch   int
+	linger     time.Duration
+	acking     bool
+	ackTimeout time.Duration
 }
 
 // Components returns the names of all components, spouts first.
@@ -92,6 +94,11 @@ type task struct {
 	rng       *rand.Rand
 	rt        *runtime
 	restarts  atomic.Int64
+
+	// ackBox is the spout task's mailbox of resolved roots, filled by
+	// the acker goroutine and drained between NextTuple calls.
+	ackMu  sync.Mutex
+	ackBox []ackResult
 }
 
 // runtime is a single execution of a topology.
@@ -105,6 +112,7 @@ type runtime struct {
 	onError  func(component string, err error)
 	maxBatch int
 	linger   time.Duration
+	ak       *acker // nil unless the topology was built with SetAcking
 
 	spoutStop  chan struct{} // closed to ask spouts to stop early
 	tickerStop chan struct{}
@@ -147,6 +155,15 @@ type collector struct {
 	spanBuf  []int // routeBuf prefix lengths per edge, multi-edge emits
 	buffered int   // tuples currently sitting in edge buffers
 
+	// Acking state (see ack.go). anchorOK marks a spout collector whose
+	// spout can receive Ack/Fail; curRoot/curXor are the lineage root
+	// and id accumulator of the tuple currently being emitted for.
+	ak       *acker
+	anchorOK bool
+	curRoot  uint64
+	curXor   uint64
+	ackBuf   []ackerMsg
+
 	// local counters, folded into sm by flushAll
 	emitted      int64
 	transferred  int64
@@ -165,6 +182,7 @@ func newCollector(tk *task, rt *runtime) *collector {
 		sm:        rt.metrics.shard(tk.component, tk.index),
 		maxBatch:  rt.maxBatch,
 		outs:      make(map[string]*streamOut),
+		ak:        rt.ak,
 		lastFlush: time.Now(),
 	}
 	for stream, fields := range rt.fields[tk.component] {
@@ -182,11 +200,17 @@ func newCollector(tk *task, rt *runtime) *collector {
 func (c *collector) Emit(values Values) { c.EmitTo(DefaultStream, values) }
 
 // EmitTo implements Collector.
-func (c *collector) EmitTo(stream string, values Values) {
+func (c *collector) EmitTo(stream string, values Values) { c.emitTo(stream, values) }
+
+func (c *collector) emitTo(stream string, values Values) {
 	c.emitted++
 	out := c.outs[stream]
 	if out == nil || len(out.edges) == 0 {
 		return // no subscribers: dropped, as before
+	}
+	if c.curRoot != 0 {
+		c.emitAnchoredTuples(out, stream, values)
+		return
 	}
 	t := getTuple(c.task.component, stream, values, out.fields)
 	if len(out.edges) == 1 {
@@ -211,6 +235,35 @@ func (c *collector) EmitTo(stream string, values Values) {
 	pos := 0
 	for k, eb := range out.edges {
 		for _, i := range c.routeBuf[pos:c.spanBuf[k]] {
+			c.deliver(eb, i, t)
+		}
+		pos = c.spanBuf[k]
+	}
+}
+
+// emitAnchoredTuples is the anchored emit path: instead of sharing one
+// pooled tuple across destinations, every delivery gets its own clone
+// carrying the lineage root and a fresh XOR id, because per-delivery ids
+// are what the acking protocol counts. The Values slice is shared across
+// clones — downstream tasks only read it. Routing runs against a stack
+// probe tuple before any append, for the same release-safety reason as
+// the multi-edge path above.
+func (c *collector) emitAnchoredTuples(out *streamOut, stream string, values Values) {
+	probe := Tuple{Component: c.task.component, Stream: stream, Values: values, fields: out.fields}
+	c.routeBuf = c.routeBuf[:0]
+	c.spanBuf = c.spanBuf[:0]
+	for _, eb := range out.edges {
+		c.routeBuf = eb.edge.group.route(&probe, len(eb.edge.tasks), c.task.rng, c.routeBuf)
+		c.spanBuf = append(c.spanBuf, len(c.routeBuf))
+	}
+	pos := 0
+	for k, eb := range out.edges {
+		for _, i := range c.routeBuf[pos:c.spanBuf[k]] {
+			t := getTuple(c.task.component, stream, values, out.fields)
+			t.root = c.curRoot
+			t.ackID = c.newAckID()
+			t.refs.Store(1)
+			c.curXor ^= t.ackID
 			c.deliver(eb, i, t)
 		}
 		pos = c.spanBuf[k]
@@ -284,6 +337,9 @@ func (c *collector) flushAll() {
 		c.rt.pending.Add(-c.acked)
 		c.acked = 0
 	}
+	if len(c.ackBuf) > 0 {
+		c.flushAcks()
+	}
 	c.lastFlush = time.Now()
 }
 
@@ -308,6 +364,9 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 	}
 	if rt.linger <= 0 {
 		rt.linger = DefaultLinger
+	}
+	if t.acking {
+		rt.ak = newAcker(rt, t.ackTimeout)
 	}
 	seed := int64(1)
 	mkTasks := func(name string, n int, isSpout bool) {
@@ -357,6 +416,7 @@ func (rt *runtime) ctx(name string, index, n int) TopologyContext {
 		TaskIndex: index,
 		NumTasks:  n,
 		Config:    rt.topo.config,
+		Acking:    rt.ak != nil,
 	}
 }
 
@@ -371,6 +431,9 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 		return
 	}
 	defer func() { sp.Close() }()
+	as, canAck := sp.(AckingSpout)
+	col.anchorOK = rt.ak != nil && canAck
+	var ackScratch []ackResult
 	for {
 		select {
 		case <-rt.spoutStop:
@@ -385,8 +448,23 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 					rt.onError(decl.name, fmt.Errorf("reopen: %w", err))
 					return
 				}
+				as, canAck = sp.(AckingSpout)
+				col.anchorOK = rt.ak != nil && canAck
 			}
 		default:
+			if col.anchorOK {
+				// Deliver resolved roots before polling, so a spout that
+				// replays failed messages sees the failure promptly and a
+				// spout waiting on outstanding messages can exhaust.
+				ackScratch = tk.takeAckResults(ackScratch[:0])
+				for _, r := range ackScratch {
+					if r.failed {
+						as.Fail(r.msgID)
+					} else {
+						as.Ack(r.msgID)
+					}
+				}
+			}
 			e0 := col.emitted
 			if !sp.NextTuple() {
 				return
@@ -396,8 +474,9 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 			// Local counters are folded too even when the buffers are
 			// empty (threshold flushes may have drained them), so
 			// metric readers like System.Drain never see an idle spout
-			// with emissions unaccounted for.
-			if (col.buffered > 0 || col.emitted != 0) && (col.emitted == e0 || time.Since(col.lastFlush) >= rt.linger) {
+			// with emissions unaccounted for. Buffered acker updates
+			// (anchoring messages) leave on the same schedule.
+			if (col.buffered > 0 || col.emitted != 0 || len(col.ackBuf) > 0) && (col.emitted == e0 || time.Since(col.lastFlush) >= rt.linger) {
 				col.flushAll()
 			}
 		}
@@ -408,32 +487,92 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 // whole and releasing each tuple to the free list after execution.
 func (rt *runtime) execBatch(decl *boltDecl, b Bolt, col *collector, batch []*Tuple) {
 	start := time.Now()
-	for _, tup := range batch {
-		if err := b.Execute(tup); err != nil {
-			col.errors++
-			rt.onError(decl.name, err)
+	if rt.ak != nil {
+		rt.execBatchAcked(decl, b, col, batch)
+	} else {
+		for _, tup := range batch {
+			if err := b.Execute(tup); err != nil {
+				col.errors++
+				rt.onError(decl.name, err)
+			}
+			tup.release()
 		}
-		tup.release()
 	}
 	col.executed += int64(len(batch))
 	col.executeNanos += time.Since(start).Nanoseconds()
 	col.acked += int64(len(batch))
 }
 
+// execBatchAcked is execBatch with lineage bookkeeping: around each
+// anchored tuple's Execute, the collector accumulates the ids of emitted
+// children, and the input's id plus its children's ids are acked as one
+// update (or the root failed, if Execute errored) on the batch's flush.
+func (rt *runtime) execBatchAcked(decl *boltDecl, b Bolt, col *collector, batch []*Tuple) {
+	for _, tup := range batch {
+		root, id := tup.root, tup.ackID
+		if root != 0 {
+			col.curRoot, col.curXor = root, id
+		}
+		err := b.Execute(tup)
+		if root != 0 {
+			xor := col.curXor
+			col.curRoot = 0
+			if err != nil {
+				col.pushAckerMsg(ackerMsg{kind: ackerFail, root: root})
+			} else {
+				col.pushAckerMsg(ackerMsg{kind: ackerAck, root: root, xor: xor})
+			}
+		}
+		if err != nil {
+			col.errors++
+			rt.onError(decl.name, err)
+		}
+		tup.release()
+	}
+}
+
+// dropBatch disposes of one unexecuted batch: tuples are released, the
+// dropped data tuples are counted per component, and with acking enabled
+// each anchored tuple fails its lineage root so the spout replays the
+// message instead of losing it. Fails leave immediately, not on some
+// larger schedule: the spouts replaying them are what lets the topology
+// drain and shut down.
+func (rt *runtime) dropBatch(tk *task, batch []*Tuple) {
+	dropped := 0
+	var fails []ackerMsg
+	for _, tup := range batch {
+		if !tup.IsTick() {
+			dropped++
+			if rt.ak != nil && tup.root != 0 {
+				fails = append(fails, ackerMsg{kind: ackerFail, root: tup.root})
+			}
+		}
+		tup.release()
+	}
+	if len(fails) > 0 {
+		rt.ak.in <- fails
+	}
+	if dropped > 0 {
+		rt.metrics.component(tk.component).dropped.Add(int64(dropped))
+	}
+	rt.pending.Add(-int64(len(batch)))
+}
+
 // drainInput unblocks upstream senders after a failed Prepare: batches
-// are consumed, released, and acknowledged without execution.
+// are consumed and dropped without execution until the queue closes.
 func (rt *runtime) drainInput(tk *task) {
 	for batch := range tk.in {
-		for _, tup := range batch {
-			tup.release()
-		}
-		rt.pending.Add(-int64(len(batch)))
+		rt.dropBatch(tk, batch)
 	}
 }
 
 // restartBolt swaps in a fresh bolt instance after simulated worker
 // failure: the instance and all its in-memory state are discarded; a
 // fresh stateless instance resumes from the same queue (§3.1, §3.3).
+// On a failed re-Prepare the caller must dispose of any batch it holds
+// and then drain the queue; restartBolt cannot drain itself, because a
+// batch still in the caller's hands would keep the topology from ever
+// quiescing.
 func (rt *runtime) restartBolt(decl *boltDecl, tk *task, col *collector, b Bolt) (Bolt, bool) {
 	b.Cleanup()
 	nb := decl.factory()
@@ -441,7 +580,6 @@ func (rt *runtime) restartBolt(decl *boltDecl, tk *task, col *collector, b Bolt)
 	if err := nb.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
 		rt.onError(decl.name, fmt.Errorf("re-prepare: %w", err))
 		col.flushAll() // do not strand pre-crash emissions or acks
-		rt.drainInput(tk)
 		return nil, false
 	}
 	return nb, true
@@ -461,13 +599,18 @@ func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 		rt.drainInput(tk)
 		return
 	}
-	defer func() { b.Cleanup() }()
+	defer func() {
+		if b != nil { // nil after a failed restart; the old instance was cleaned up
+			b.Cleanup()
+		}
+	}()
 	for {
 		select {
 		case m := <-tk.ctrl:
 			if m == ctrlRestart {
 				var ok bool
 				if b, ok = rt.restartBolt(decl, tk, col, b); !ok {
+					rt.drainInput(tk)
 					return
 				}
 			}
@@ -484,6 +627,8 @@ func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 					if m == ctrlRestart {
 						var okr bool
 						if b, okr = rt.restartBolt(decl, tk, col, b); !okr {
+							rt.dropBatch(tk, batch) // the batch in hand is dropped too
+							rt.drainInput(tk)
 							return
 						}
 					}
@@ -601,6 +746,9 @@ func (rt *runtime) run(ctx context.Context) (*MetricsSnapshot, error) {
 // start launches all tasks and returns a handle for supervision.
 func (rt *runtime) start(ctx context.Context) *RunningTopology {
 	t := rt.topo
+	if rt.ak != nil {
+		go rt.ak.run()
+	}
 	for _, b := range t.bolts {
 		for _, tk := range rt.tasks[b.name] {
 			rt.taskWG.Add(1)
@@ -642,6 +790,10 @@ func (rt *runtime) start(ctx context.Context) *RunningTopology {
 			}
 		}
 		rt.taskWG.Wait()
+		if rt.ak != nil {
+			// All senders (task goroutines) are done; drain and stop.
+			rt.ak.shutdown()
+		}
 		close(h.done)
 	}()
 	return h

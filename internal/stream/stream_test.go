@@ -83,8 +83,14 @@ func TestRunDeliversAllTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := topo.Run(context.Background()); err != nil {
+	m, err := topo.Run(context.Background())
+	if err != nil {
 		t.Fatal(err)
+	}
+	for name, c := range m.Components {
+		if c.Dropped != 0 || c.Failed != 0 {
+			t.Fatalf("%s: dropped=%d failed=%d on a healthy run, want 0/0", name, c.Dropped, c.Failed)
+		}
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -426,6 +432,9 @@ func TestStopDrains(t *testing.T) {
 	m := h.Metrics()
 	if m.Components["sink"].Executed != int64(n) {
 		t.Fatalf("metrics executed=%d, sink saw %d", m.Components["sink"].Executed, n)
+	}
+	if m.Components["sink"].Dropped != 0 {
+		t.Fatalf("sink dropped %d tuples on an orderly stop, want 0", m.Components["sink"].Dropped)
 	}
 }
 

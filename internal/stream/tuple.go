@@ -81,6 +81,18 @@ type Tuple struct {
 	// pooled marks tuples drawn from tuplePool. Tick tuples and
 	// hand-built tuples are never recycled.
 	pooled bool
+
+	// root is the lineage root this delivery is anchored to, and ackID
+	// its own XOR id; both are zero on unanchored tuples (see ack.go).
+	root  uint64
+	ackID uint64
+}
+
+// NewTuple builds a standalone (unpooled) tuple, for driving a component
+// directly — typically a bolt's Execute in a unit test — without running
+// a topology.
+func NewTuple(component, streamID string, fields Fields, values Values) *Tuple {
+	return &Tuple{Component: component, Stream: streamID, Values: values, fields: fields}
 }
 
 // tuplePool is the free list behind the allocation-free emit path.
@@ -104,6 +116,7 @@ func (t *Tuple) release() {
 	if t.refs.Add(-1) == 0 {
 		t.Values = nil
 		t.fields = nil
+		t.root, t.ackID = 0, 0
 		tuplePool.Put(t)
 	}
 }

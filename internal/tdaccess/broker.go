@@ -256,6 +256,25 @@ func (b *Broker) TopicPartitions(name string) int {
 	return 0
 }
 
+// CommittedOffset reports a group's committed offset for one partition
+// of a topic, for monitoring consumer progress without joining the group.
+func (b *Broker) CommittedOffset(group, topicName string, partition int) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("tdaccess: unknown topic %q", topicName)
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return 0, fmt.Errorf("tdaccess: topic %s has no partition %d", topicName, partition)
+	}
+	gs := b.groups[groupKey{group, topicName}]
+	if gs == nil {
+		return 0, nil
+	}
+	return gs.offsets[partition], nil
+}
+
 // rebalanceLocked recomputes a group's partition assignment after a
 // membership change. Offsets are preserved; the epoch bump tells each
 // consumer to refetch its assignment.

@@ -181,6 +181,30 @@ func (c *Consumer) Commit() error {
 	return nil
 }
 
+// CommitTo persists offset as the group's committed offset for one
+// partition, if it advances the current one. Unlike Commit it is
+// independent of the consumer's read positions, so a spout that holds
+// polled messages in a pending window can commit exactly the contiguous
+// acknowledged frontier and let a crash replay everything beyond it.
+func (c *Consumer) CommitTo(partition int, offset int64) error {
+	if c.t == nil {
+		return fmt.Errorf("tdaccess: consumer %s committed before Subscribe", c.id)
+	}
+	c.b.mu.Lock()
+	defer c.b.mu.Unlock()
+	gs := c.b.groups[groupKey{c.group, c.topicName}]
+	if gs == nil {
+		return fmt.Errorf("tdaccess: unknown group %q", c.group)
+	}
+	if partition < 0 || partition >= len(gs.offsets) {
+		return fmt.Errorf("tdaccess: topic %s has no partition %d", c.topicName, partition)
+	}
+	if offset > gs.offsets[partition] {
+		gs.offsets[partition] = offset
+	}
+	return nil
+}
+
 // SeekToBeginning rewinds this consumer's positions to offset zero for
 // all assigned partitions, replaying the disk-cached history.
 func (c *Consumer) SeekToBeginning() error {

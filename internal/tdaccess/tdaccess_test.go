@@ -335,3 +335,98 @@ func TestLogOffsetOutOfRange(t *testing.T) {
 		t.Fatalf("Read(-1) = %v, want ErrOffsetOutOfRange", err)
 	}
 }
+
+// pollAll drains the consumer until it returns no more messages.
+func pollAll(t *testing.T, c *Consumer) []Message {
+	t.Helper()
+	var out []Message
+	for {
+		msgs, err := c.Poll(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			return out
+		}
+		out = append(out, msgs...)
+	}
+}
+
+func TestUncommittedMessagesRedeliveredToReplacement(t *testing.T) {
+	// A consumer that polls but never commits, then leaves the group,
+	// must not advance the group's offsets: its replacement re-receives
+	// everything. This is the broker-side contract the acked-frontier
+	// offset commit in the topology spout relies on.
+	b := newTestBroker(t, Options{Partitions: 3})
+	p := b.NewProducer()
+	for i := 0; i < 30; i++ {
+		if _, _, err := p.Send("t", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1 := b.NewConsumer("g")
+	if err := c1.Subscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pollAll(t, c1); len(got) != 30 {
+		t.Fatalf("c1 polled %d messages, want 30", len(got))
+	}
+	c1.Unsubscribe() // replaced without committing
+
+	c2 := b.NewConsumer("g")
+	if err := c2.Subscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	redelivered := pollAll(t, c2)
+	if len(redelivered) != 30 {
+		t.Fatalf("replacement re-received %d messages, want all 30", len(redelivered))
+	}
+}
+
+func TestCommitToAdvancesFrontierPerPartition(t *testing.T) {
+	b := newTestBroker(t, Options{Partitions: 2})
+	p := b.NewProducer()
+	perPart := make(map[int]int)
+	for i := 0; i < 20; i++ {
+		part, _, err := p.Send("t", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perPart[part]++
+	}
+	c1 := b.NewConsumer("g")
+	if err := c1.Subscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pollAll(t, c1); len(got) != 20 {
+		t.Fatalf("polled %d, want 20", len(got))
+	}
+	// Commit only the first 2 offsets of partition 0; partition 1 stays
+	// uncommitted entirely.
+	if err := c1.CommitTo(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Regressing the frontier must be a no-op.
+	if err := c1.CommitTo(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.CommitTo(7, 0); err == nil {
+		t.Fatal("CommitTo accepted an unknown partition")
+	}
+	c1.Unsubscribe()
+
+	c2 := b.NewConsumer("g")
+	if err := c2.Subscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	got := pollAll(t, c2)
+	want := perPart[0] - 2 + perPart[1]
+	if len(got) != want {
+		t.Fatalf("replacement received %d messages, want %d (all but the 2 committed on partition 0)", len(got), want)
+	}
+	for _, m := range got {
+		if m.Partition == 0 && m.Offset < 2 {
+			t.Fatalf("offset %d of partition 0 redelivered despite being committed", m.Offset)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tdstore
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tencentrec/internal/statecodec"
 	"tencentrec/internal/tdstore/engine"
@@ -10,6 +11,18 @@ import (
 
 // clientRetries bounds route-refresh retries before an operation fails.
 const clientRetries = 3
+
+// routeRefreshRetries bounds how many times refreshRoute re-asks the
+// config servers before giving up, with routeRefreshBackoff doubling up
+// to routeRefreshMaxBackoff between attempts (~20ms worst case in
+// total). A host/backup pair that is momentarily entirely down — e.g.
+// mid-failover — therefore stalls operations briefly instead of failing
+// them.
+const (
+	routeRefreshRetries    = 8
+	routeRefreshBackoff    = 250 * time.Microsecond
+	routeRefreshMaxBackoff = 4 * time.Millisecond
+)
 
 // Client provides keyed access to a TDStore cluster. It caches the route
 // table and communicates "directly with the data servers located by the
@@ -38,16 +51,28 @@ func (cl *Client) cachedRoute() *RouteTable {
 }
 
 func (cl *Client) refreshRoute() error {
-	rt, err := cl.c.RouteTable()
-	if err != nil {
-		return err
+	var lastErr error
+	backoff := routeRefreshBackoff
+	for attempt := 0; attempt <= routeRefreshRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > routeRefreshMaxBackoff {
+				backoff = routeRefreshMaxBackoff
+			}
+		}
+		rt, err := cl.c.RouteTable()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.mu.Lock()
+		if rt.Version > cl.route.Version {
+			cl.route = rt
+		}
+		cl.mu.Unlock()
+		return nil
 	}
-	cl.mu.Lock()
-	if rt.Version > cl.route.Version {
-		cl.route = rt
-	}
-	cl.mu.Unlock()
-	return nil
+	return fmt.Errorf("tdstore: route refresh failed after %d attempts: %w", routeRefreshRetries+1, lastErr)
 }
 
 // hostFor resolves the current host server of key's instance.

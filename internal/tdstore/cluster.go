@@ -165,6 +165,28 @@ func (c *Cluster) KillConfigHost() {
 	c.configs[0].down = true
 }
 
+// ReviveConfigHost brings the host config server back into service.
+func (c *Cluster) ReviveConfigHost() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.configs[0].down = false
+}
+
+// KillConfigBackup fails the backup config server. With the host also
+// down, route-table service is unavailable until one of them revives.
+func (c *Cluster) KillConfigBackup() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.configs[1].down = true
+}
+
+// ReviveConfigBackup brings the backup config server back into service.
+func (c *Cluster) ReviveConfigBackup() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.configs[1].down = false
+}
+
 // KillDataServer simulates a data server failure. The config server
 // detects it (heartbeat timeout in a real deployment, immediate here) and
 // promotes a live slave for every instance the dead server hosted,
@@ -314,9 +336,14 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	servers := append([]*DataServer(nil), c.servers...)
 	c.mu.Unlock()
-	var first error
+	// Stop every sync loop before closing any engine: a stopping loop
+	// drains its queue by applying replica ops to OTHER servers' engines,
+	// so no engine may close until all loops have drained.
 	for _, ds := range servers {
 		ds.stop()
+	}
+	var first error
+	for _, ds := range servers {
 		ds.mu.Lock()
 		for _, eng := range ds.instances {
 			if err := eng.Close(); err != nil && first == nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"tencentrec/internal/tdstore/engine"
 	"tencentrec/internal/tdstore/engine/ldb"
@@ -254,5 +255,60 @@ func TestRouteTableDeterministicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReviveConfigHostRestoresService(t *testing.T) {
+	c, _ := newTestCluster(t, Options{})
+	c.KillConfigHost()
+	c.KillConfigBackup()
+	if _, err := c.RouteTable(); err == nil {
+		t.Fatal("RouteTable succeeded with both config servers down")
+	}
+	c.ReviveConfigHost()
+	if _, err := c.RouteTable(); err != nil {
+		t.Fatalf("RouteTable after ReviveConfigHost: %v", err)
+	}
+	c.KillConfigHost()
+	c.ReviveConfigBackup()
+	if _, err := c.RouteTable(); err != nil {
+		t.Fatalf("RouteTable after ReviveConfigBackup: %v", err)
+	}
+}
+
+func TestRouteRefreshRidesOutConfigOutage(t *testing.T) {
+	// A data-server failover while BOTH config servers are momentarily
+	// down: the client's first route refresh fails against the dead
+	// pair, but the bounded retry loop outlasts the outage and the
+	// operation completes instead of surfacing an error.
+	c, cl := newTestCluster(t, Options{DataServers: 3, Instances: 9, Replicas: 2})
+	if err := cl.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Find and kill the server hosting k, so the client's cached route
+	// is stale and the next Get must refresh.
+	_, inst, err := cl.hostFor("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := c.RouteTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillDataServer(rt.Hosts[inst]); err != nil {
+		t.Fatal(err)
+	}
+	c.KillConfigHost()
+	c.KillConfigBackup()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		c.ReviveConfigHost()
+	}()
+	v, ok, err := cl.Get("k")
+	if err != nil {
+		t.Fatalf("Get during config outage: %v", err)
+	}
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q ok=%v, want v1", v, ok)
 	}
 }

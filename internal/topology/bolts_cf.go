@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"tencentrec/internal/combiner"
 	"tencentrec/internal/core"
@@ -69,19 +70,67 @@ func splitCombKey(ck string) (string, int64) {
 	return ck, 0
 }
 
+// msgDedup remembers recently seen spout message ids so Pretreatment can
+// drop at-least-once re-deliveries before they reach the counting bolts.
+// It is shared by every Pretreatment task of a topology (replays are
+// shuffle-grouped, so a duplicate may land on a different task than the
+// original) and survives task restarts, living in the factory closure.
+// Two generations bound memory: when the current generation fills, it
+// becomes the previous one, so an id is remembered for at least cap and
+// at most 2×cap distinct ids.
+type msgDedup struct {
+	mu        sync.Mutex
+	cap       int
+	cur, prev map[string]struct{}
+}
+
+func newMsgDedup(capacity int) *msgDedup {
+	return &msgDedup{
+		cap:  capacity,
+		cur:  make(map[string]struct{}),
+		prev: make(map[string]struct{}),
+	}
+}
+
+// seen records id and reports whether it was already present.
+func (d *msgDedup) seen(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.cur[id]; ok {
+		return true
+	}
+	if _, ok := d.prev[id]; ok {
+		return true
+	}
+	if len(d.cur) >= d.cap {
+		d.prev = d.cur
+		d.cur = make(map[string]struct{}, d.cap)
+	}
+	d.cur[id] = struct{}{}
+	return false
+}
+
 // PretreatmentBolt is the preprocessing layer: it parses raw TDAccess
 // payloads, filters unqualified tuples and routes behaviour tuples to the
 // algorithm layer ("gets data from TDAccess, parses the raw message,
-// filters the unqualified data tuples", §5.1).
+// filters the unqualified data tuples", §5.1). With Params.DedupWindow
+// set it also drops replayed spout messages whose id was already seen —
+// the guard that keeps at-least-once replay from over-counting on the
+// counting path (DESIGN.md §11).
 type PretreatmentBolt struct {
-	p Params
-	c stream.Collector
+	p     Params
+	c     stream.Collector
+	dedup *msgDedup // shared across tasks; nil when disabled
 }
 
 // NewPretreatmentBolt returns the bolt factory.
 func NewPretreatmentBolt(p Params) stream.BoltFactory {
 	p = p.withDefaults()
-	return func() stream.Bolt { return &PretreatmentBolt{p: p} }
+	var dedup *msgDedup
+	if p.DedupWindow > 0 {
+		dedup = newMsgDedup(p.DedupWindow)
+	}
+	return func() stream.Bolt { return &PretreatmentBolt{p: p, dedup: dedup} }
 }
 
 // Prepare implements stream.Bolt.
@@ -94,6 +143,13 @@ func (b *PretreatmentBolt) Prepare(_ stream.TopologyContext, c stream.Collector)
 func (b *PretreatmentBolt) Execute(t *stream.Tuple) error {
 	if t.IsTick() {
 		return nil
+	}
+	if b.dedup != nil {
+		if id, ok := t.TryValue("msgid"); ok {
+			if s, _ := id.(string); s != "" && b.dedup.seen(s) {
+				return nil // replayed message: already processed once
+			}
+		}
 	}
 	raw, _ := t.Value("raw").([]byte)
 	a, err := DecodeAction(raw)
@@ -135,6 +191,19 @@ type UserHistoryBolt struct {
 	p  Params
 	c  stream.Collector
 	st *taskState
+	// emits buffers one action's derived deltas until the history write
+	// lands: emitting only after a successful Put means a store failure
+	// replays cleanly under acking (nothing was emitted, the history is
+	// unchanged, the retry recomputes the same deltas) instead of
+	// double-counting deltas that were already in flight. The slice is
+	// reused across Execute calls.
+	emits []pendingEmit
+}
+
+// pendingEmit is one buffered downstream emission.
+type pendingEmit struct {
+	stream string
+	values stream.Values
 }
 
 // NewUserHistoryBolt returns the bolt factory over the shared store.
@@ -197,13 +266,13 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 	}
 	newR := math.Max(oldR, weight)
 	if d := newR - oldR; d > 0 {
-		b.c.EmitTo(StreamItemDelta, stream.Values{item, d, session})
+		b.emit(StreamItemDelta, stream.Values{item, d, session})
 	}
 
 	// AR transaction bookkeeping uses the pre-update timestamps.
 	newTouch := !had || (b.p.LinkedTime > 0 && ts-prev.TS > int64(b.p.LinkedTime))
 	if b.p.EnableAR && newTouch {
-		b.c.EmitTo(StreamARItem, stream.Values{item, session})
+		b.emit(StreamARItem, stream.Values{item, session})
 	}
 
 	for j, rj := range hist {
@@ -218,9 +287,9 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 			continue
 		}
 		deltaCo := math.Min(newR, rJ) - math.Min(oldR, rJ)
-		b.c.EmitTo(StreamPairDelta, stream.Values{pairID(item, j), deltaCo, session})
+		b.emit(StreamPairDelta, stream.Values{pairID(item, j), deltaCo, session})
 		if b.p.EnableAR && newTouch {
-			b.c.EmitTo(StreamARPair, stream.Values{pairID(item, j), session})
+			b.emit(StreamARPair, stream.Values{pairID(item, j), session})
 		}
 	}
 
@@ -228,14 +297,27 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 	// global group always accumulates too: it backs recommendations for
 	// users with no profile (§6.4).
 	group := b.p.groupOf(user)
-	b.c.EmitTo(StreamGroupDelta, stream.Values{group, item, weight, session})
+	b.emit(StreamGroupDelta, stream.Values{group, item, weight, session})
 	if group != demographic.GlobalGroup {
-		b.c.EmitTo(StreamGroupDelta, stream.Values{demographic.GlobalGroup, item, weight, session})
+		b.emit(StreamGroupDelta, stream.Values{demographic.GlobalGroup, item, weight, session})
 	}
 
 	hist[item] = storedRating{Rating: newR, TS: ts, Session: session}
 	b.evict(hist, item)
-	return b.st.Put(prefixUserHistory+user, encodeHistory(hist))
+	if err := b.st.Put(prefixUserHistory+user, encodeHistory(hist)); err != nil {
+		b.emits = b.emits[:0]
+		return err
+	}
+	for _, e := range b.emits {
+		b.c.EmitTo(e.stream, e.values)
+	}
+	b.emits = b.emits[:0]
+	return nil
+}
+
+// emit buffers an emission until the history write succeeds.
+func (b *UserHistoryBolt) emit(sid string, values stream.Values) {
+	b.emits = append(b.emits, pendingEmit{stream: sid, values: values})
 }
 
 func (b *UserHistoryBolt) evict(hist storedHistory, keep string) {

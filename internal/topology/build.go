@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"time"
 
 	"tencentrec/internal/stream"
 )
@@ -60,13 +61,15 @@ type Features struct {
 
 // Builder assembles a TencentRec application topology.
 type Builder struct {
-	name     string
-	spout    stream.SpoutFactory
-	itemFeed stream.SpoutFactory
-	state    State
-	params   Params
-	par      Parallelism
-	feats    Features
+	name       string
+	spout      stream.SpoutFactory
+	itemFeed   stream.SpoutFactory
+	state      State
+	params     Params
+	par        Parallelism
+	feats      Features
+	acking     bool
+	ackTimeout time.Duration
 }
 
 // NewBuilder starts a topology for one application.
@@ -98,6 +101,17 @@ func (b *Builder) WithItemFeed(feed stream.SpoutFactory) *Builder {
 	return b
 }
 
+// WithAcking enables at-least-once delivery for the topology: anchored
+// spout emissions are lineage-tracked by the engine's acker and replayed
+// on failure (DESIGN.md §11). timeout is the per-message ack deadline;
+// zero keeps the engine default. Off by default so the benchmark
+// configurations measure the unanchored fast path.
+func (b *Builder) WithAcking(timeout time.Duration) *Builder {
+	b.acking = true
+	b.ackTimeout = timeout
+	return b
+}
+
 // Build wires the units per Fig. 6 and validates the graph.
 func (b *Builder) Build() (*stream.Topology, error) {
 	if b.state == nil {
@@ -106,6 +120,12 @@ func (b *Builder) Build() (*stream.Topology, error) {
 	p := b.params
 	tb := stream.NewTopologyBuilder(b.name)
 	tb.SetConfig("state", b.state)
+	if b.acking {
+		tb.SetAcking(true)
+		if b.ackTimeout > 0 {
+			tb.SetAckTimeout(b.ackTimeout)
+		}
+	}
 
 	tb.SetSpout(UnitSpout, b.spout, b.par.get(b.par.Spout))
 	tb.SetBolt(UnitPretreatment, NewPretreatmentBolt(p), b.par.get(b.par.Pretreatment)).

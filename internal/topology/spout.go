@@ -2,20 +2,59 @@ package topology
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"tencentrec/internal/stream"
 	"tencentrec/internal/tdaccess"
 )
 
-// rawFields is the default-stream schema every action spout emits:
-// the raw message bytes, parsed downstream by Pretreatment.
-var rawFields = stream.Fields{"raw"}
+// rawFields is the default-stream schema every action spout emits: the
+// raw message bytes, parsed downstream by Pretreatment, plus the spout
+// message id ("" or absent when the spout has none) used by the
+// Pretreatment dedup guard. Spouts without ids may emit just the raw
+// value; TryValue("msgid") then reports absent.
+var rawFields = stream.Fields{"raw", "msgid"}
+
+// spoutMsgID identifies one TDAccess message held in the spout's pending
+// window. It is comparable, so ids survive a spout-task restart: the
+// replacement instance re-polls the same (partition, offset) pairs and
+// late ack results for the old instance's emissions still resolve.
+type spoutMsgID struct {
+	Partition int
+	Offset    int64
+}
+
+func (id spoutMsgID) tag() string {
+	return strconv.Itoa(id.Partition) + "/" + strconv.FormatInt(id.Offset, 10)
+}
+
+// pendingMsg is one polled-but-not-committed message.
+type pendingMsg struct {
+	payload []byte
+	acked   bool
+}
+
+// partPending is one partition's pending window: the contiguous acked
+// frontier (everything below next is committed broker-side) plus the
+// in-flight and out-of-order-acked messages at or beyond it.
+type partPending struct {
+	next int64
+	msgs map[int64]*pendingMsg
+}
 
 // TDAccessSpout consumes an application's action topic from TDAccess and
 // feeds the topology — the production ingestion path of Fig. 9
 // ("TDProcess gets data streams from various applications with the help
 // of TDAccess").
+//
+// With topology acking enabled (TopologyBuilder.SetAcking) the spout is
+// an at-least-once source: polled messages are held in a pending window
+// keyed by (partition, offset), emissions are anchored, failed lineages
+// are re-emitted from the retained payload, and the consumer offset is
+// committed only up to the contiguous acked frontier — so a crash
+// anywhere downstream replays from the broker instead of losing data.
+// Without acking it commits right after emit (at-most-once).
 type TDAccessSpout struct {
 	broker *tdaccess.Broker
 	topic  string
@@ -31,6 +70,25 @@ type TDAccessSpout struct {
 
 	c        stream.SpoutCollector
 	consumer *tdaccess.Consumer
+
+	// acking reports whether the enclosing topology tracks lineages; the
+	// pending window is only maintained (and NextTuple only waits for
+	// outstanding acks before exhausting) when it does.
+	acking bool
+	// pending is the per-partition replay window.
+	pending map[int]*partPending
+	// inflight counts messages emitted but not yet acked; polling pauses
+	// at maxInflight so a stalled topology bounds spout memory.
+	inflight    int
+	maxInflight int
+
+	// errBackoff is the current poll-error sleep. It starts at
+	// idleSleep/4 on the first error, doubles per consecutive error up
+	// to 16×idleSleep, and resets on any successful poll — the same
+	// capped-exponential shape as the engine's waitQuiescent loop, so a
+	// brief broker hiccup costs microseconds while a dead data server
+	// does not spin the task.
+	errBackoff time.Duration
 }
 
 // TDAccessSpoutConfig configures a TDAccessSpout factory.
@@ -69,8 +127,11 @@ func NewTDAccessSpout(cfg TDAccessSpoutConfig) stream.SpoutFactory {
 }
 
 // Open implements stream.Spout.
-func (s *TDAccessSpout) Open(_ stream.TopologyContext, c stream.SpoutCollector) error {
+func (s *TDAccessSpout) Open(ctx stream.TopologyContext, c stream.SpoutCollector) error {
 	s.c = c
+	s.acking = ctx.Acking
+	s.pending = make(map[int]*partPending)
+	s.maxInflight = 4 * s.pollBatch
 	s.consumer = s.broker.NewConsumer(s.group)
 	if err := s.consumer.Subscribe(s.topic); err != nil {
 		return fmt.Errorf("topology: spout subscribe: %w", err)
@@ -78,29 +139,130 @@ func (s *TDAccessSpout) Open(_ stream.TopologyContext, c stream.SpoutCollector) 
 	return nil
 }
 
+// window returns (lazily creating) the pending window of a partition.
+// A partition first seen at offset off — right after Subscribe or a
+// group rebalance — starts its frontier there: the consumer resumes from
+// the group's committed offsets, so off is exactly the first uncommitted
+// message.
+func (s *TDAccessSpout) window(partition int, off int64) *partPending {
+	pp := s.pending[partition]
+	if pp == nil {
+		pp = &partPending{next: off, msgs: make(map[int64]*pendingMsg)}
+		s.pending[partition] = pp
+	}
+	return pp
+}
+
 // NextTuple implements stream.Spout.
 func (s *TDAccessSpout) NextTuple() bool {
-	msgs, err := s.consumer.Poll(s.pollBatch)
-	if err != nil {
-		// Data-server hiccup: back off and retry; TDAccess retains the
-		// data on disk.
+	if s.acking && s.inflight >= s.maxInflight {
+		// The topology is behind; wait for acks (delivered between
+		// NextTuple calls) before polling more.
 		time.Sleep(s.idleSleep)
 		return true
 	}
+	msgs, err := s.consumer.Poll(s.pollBatch)
+	if err != nil {
+		// Data-server hiccup: capped exponential backoff. TDAccess
+		// retains the data on disk, so nothing is lost by waiting.
+		if s.errBackoff == 0 {
+			s.errBackoff = s.idleSleep / 4
+		} else if s.errBackoff < 16*s.idleSleep {
+			s.errBackoff *= 2
+		}
+		time.Sleep(s.errBackoff)
+		return true
+	}
+	s.errBackoff = 0
 	if len(msgs) == 0 {
-		if s.stopWhenDrained {
+		if s.stopWhenDrained && (!s.acking || s.inflight == 0) {
 			return false
 		}
 		time.Sleep(s.idleSleep)
 		return true
 	}
-	for _, m := range msgs {
-		s.c.Emit(stream.Values{m.Payload})
+	if !s.acking {
+		for _, m := range msgs {
+			s.c.Emit(stream.Values{m.Payload, spoutMsgID{m.Partition, m.Offset}.tag()})
+		}
+		// At-most-once: the in-memory read positions advanced at Poll,
+		// so an emitted batch is never re-read by this consumer whether
+		// or not the commit lands — a commit error only means a
+		// replacement group member would re-read it. With acking on,
+		// commits instead track the acked frontier (see Ack), which is
+		// what makes a broker-side retry real.
+		_ = s.consumer.Commit()
+		return true
 	}
-	if err := s.consumer.Commit(); err != nil {
-		return true // retry the batch after a broker error
+	for _, m := range msgs {
+		pp := s.window(m.Partition, m.Offset)
+		if m.Offset < pp.next {
+			continue // already committed: a rebalance re-read
+		}
+		if _, dup := pp.msgs[m.Offset]; dup {
+			continue // already in flight
+		}
+		pp.msgs[m.Offset] = &pendingMsg{payload: m.Payload}
+		s.inflight++
+		id := spoutMsgID{m.Partition, m.Offset}
+		s.c.EmitAnchored(id, stream.Values{m.Payload, id.tag()})
 	}
 	return true
+}
+
+// Ack implements stream.AckingSpout: the message's whole lineage
+// executed. The contiguous acked frontier advances past every acked
+// prefix and is committed broker-side, so a replacement consumer resumes
+// exactly at the first message not fully processed.
+func (s *TDAccessSpout) Ack(msgID interface{}) {
+	id, ok := msgID.(spoutMsgID)
+	if !ok {
+		return
+	}
+	pp := s.pending[id.Partition]
+	if pp == nil {
+		return
+	}
+	pm := pp.msgs[id.Offset]
+	if pm == nil || pm.acked {
+		return // unknown or duplicate result (e.g. a pre-restart lineage)
+	}
+	pm.acked = true
+	s.inflight--
+	advanced := false
+	for {
+		pm, ok := pp.msgs[pp.next]
+		if !ok || !pm.acked {
+			break
+		}
+		delete(pp.msgs, pp.next)
+		pp.next++
+		advanced = true
+	}
+	if advanced {
+		// Commit errors leave the frontier where it was; a replacement
+		// would replay a little more, which at-least-once permits.
+		_ = s.consumer.CommitTo(id.Partition, pp.next)
+	}
+}
+
+// Fail implements stream.AckingSpout: some tuple of the message's
+// lineage was dropped or timed out, so the retained payload is replayed
+// under the same id.
+func (s *TDAccessSpout) Fail(msgID interface{}) {
+	id, ok := msgID.(spoutMsgID)
+	if !ok {
+		return
+	}
+	pp := s.pending[id.Partition]
+	if pp == nil {
+		return
+	}
+	pm := pp.msgs[id.Offset]
+	if pm == nil || pm.acked {
+		return // already committed by an earlier duplicate lineage
+	}
+	s.c.EmitAnchored(id, stream.Values{pm.payload, id.tag()})
 }
 
 // Close implements stream.Spout.
@@ -156,6 +318,86 @@ func (s *SliceSpout) Close() {}
 
 // DeclareOutputFields implements stream.OutputDeclarer.
 func (s *SliceSpout) DeclareOutputFields() map[string]stream.Fields {
+	return map[string]stream.Fields{stream.DefaultStream: rawFields}
+}
+
+// AnchoredSliceSpout replays a fixed slice with at-least-once anchoring:
+// each action is emitted anchored to its slice index, failed lineages are
+// re-emitted, and the spout exhausts only after every action has been
+// acknowledged. It measures the acking overhead against SliceSpout and
+// exercises replay without a broker. With topology acking disabled it
+// degrades to plain SliceSpout behaviour.
+type AnchoredSliceSpout struct {
+	actions []RawAction
+	next    int
+	c       stream.SpoutCollector
+	task    int
+	tasks   int
+	acking  bool
+	pending map[int]bool
+	replayQ []int
+}
+
+// NewAnchoredSliceSpout returns a factory for anchored slice replay;
+// task i of n replays the i-th residue class, as NewSliceSpout.
+func NewAnchoredSliceSpout(actions []RawAction) stream.SpoutFactory {
+	return func() stream.Spout { return &AnchoredSliceSpout{actions: actions} }
+}
+
+// Open implements stream.Spout.
+func (s *AnchoredSliceSpout) Open(ctx stream.TopologyContext, c stream.SpoutCollector) error {
+	s.c = c
+	s.task = ctx.TaskIndex
+	s.tasks = ctx.NumTasks
+	s.next = s.task
+	s.acking = ctx.Acking
+	s.pending = make(map[int]bool)
+	return nil
+}
+
+// NextTuple implements stream.Spout.
+func (s *AnchoredSliceSpout) NextTuple() bool {
+	if len(s.replayQ) > 0 {
+		i := s.replayQ[0]
+		s.replayQ = s.replayQ[1:]
+		s.c.EmitAnchored(i, stream.Values{EncodeAction(s.actions[i])})
+		return true
+	}
+	if s.next >= len(s.actions) {
+		if s.acking && len(s.pending) > 0 {
+			time.Sleep(50 * time.Microsecond) // wait for outstanding acks
+			return true
+		}
+		return false
+	}
+	i := s.next
+	s.next += s.tasks
+	if s.acking {
+		s.pending[i] = true
+	}
+	s.c.EmitAnchored(i, stream.Values{EncodeAction(s.actions[i])})
+	return true
+}
+
+// Ack implements stream.AckingSpout.
+func (s *AnchoredSliceSpout) Ack(msgID interface{}) {
+	if i, ok := msgID.(int); ok {
+		delete(s.pending, i)
+	}
+}
+
+// Fail implements stream.AckingSpout.
+func (s *AnchoredSliceSpout) Fail(msgID interface{}) {
+	if i, ok := msgID.(int); ok && s.pending[i] {
+		s.replayQ = append(s.replayQ, i)
+	}
+}
+
+// Close implements stream.Spout.
+func (s *AnchoredSliceSpout) Close() {}
+
+// DeclareOutputFields implements stream.OutputDeclarer.
+func (s *AnchoredSliceSpout) DeclareOutputFields() map[string]stream.Fields {
 	return map[string]stream.Fields{stream.DefaultStream: rawFields}
 }
 

@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tencentrec/internal/stream"
+	"tencentrec/internal/tdaccess"
+)
+
+// stubSpoutCollector records emissions for direct spout-level tests.
+type stubSpoutCollector struct {
+	values []stream.Values
+	ids    []interface{}
+}
+
+func (c *stubSpoutCollector) Emit(v stream.Values)             { c.values = append(c.values, v) }
+func (c *stubSpoutCollector) EmitTo(_ string, v stream.Values) { c.values = append(c.values, v) }
+func (c *stubSpoutCollector) EmitAnchored(id interface{}, v stream.Values) {
+	c.ids = append(c.ids, id)
+	c.values = append(c.values, v)
+}
+func (c *stubSpoutCollector) EmitAnchoredTo(_ string, id interface{}, v stream.Values) {
+	c.EmitAnchored(id, v)
+}
+
+const spoutTestServers = 2
+
+func newSpoutBroker(t *testing.T, partitions int) *tdaccess.Broker {
+	t.Helper()
+	b, err := tdaccess.NewBroker(tdaccess.Options{
+		Dir: t.TempDir(), Partitions: partitions, DataServers: spoutTestServers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestSpoutPollErrorBackoffRecovers(t *testing.T) {
+	broker := newSpoutBroker(t, 2)
+	prod := broker.NewProducer()
+	for i := 0; i < 5; i++ {
+		if _, _, err := prod.Send("acts", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idle := 200 * time.Microsecond
+	sp := NewTDAccessSpout(TDAccessSpoutConfig{
+		Broker: broker, Topic: "acts", Group: "g", IdleSleep: idle,
+	})().(*TDAccessSpout)
+	col := &stubSpoutCollector{}
+	if err := sp.Open(stream.TopologyContext{}, col); err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	// Take the whole broker down: every poll errors, and the sleep
+	// grows exponentially from idleSleep/4 up to the 16x cap.
+	for i := 0; i < spoutTestServers; i++ {
+		if err := broker.KillDataServer(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sp.NextTuple() {
+		t.Fatal("NextTuple returned false on a poll error")
+	}
+	if sp.errBackoff != idle/4 {
+		t.Fatalf("first error backoff = %v, want %v", sp.errBackoff, idle/4)
+	}
+	last := sp.errBackoff
+	for i := 0; i < 10; i++ {
+		sp.NextTuple()
+		if sp.errBackoff < last {
+			t.Fatalf("backoff shrank mid-outage: %v -> %v", last, sp.errBackoff)
+		}
+		last = sp.errBackoff
+	}
+	if sp.errBackoff != 16*idle {
+		t.Fatalf("capped backoff = %v, want %v", sp.errBackoff, 16*idle)
+	}
+
+	// The hiccup heals: the very next poll succeeds, delivers the
+	// backlog, and resets the backoff for the next incident.
+	for i := 0; i < spoutTestServers; i++ {
+		if err := broker.ReviveDataServer(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp.NextTuple()
+	if sp.errBackoff != 0 {
+		t.Fatalf("backoff not reset after recovery: %v", sp.errBackoff)
+	}
+	if len(col.values) != 5 {
+		t.Fatalf("delivered %d messages after recovery, want 5", len(col.values))
+	}
+}
+
+func TestSpoutAckedFrontierCommit(t *testing.T) {
+	broker := newSpoutBroker(t, 1)
+	prod := broker.NewProducer()
+	for i := 0; i < 3; i++ {
+		if _, _, err := prod.Send("acts", "", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := NewTDAccessSpout(TDAccessSpoutConfig{
+		Broker: broker, Topic: "acts", Group: "g", StopWhenDrained: true,
+		IdleSleep: 50 * time.Microsecond,
+	})().(*TDAccessSpout)
+	col := &stubSpoutCollector{}
+	if err := sp.Open(stream.TopologyContext{Acking: true}, col); err != nil {
+		t.Fatal(err)
+	}
+
+	sp.NextTuple()
+	if len(col.ids) != 3 || sp.inflight != 3 {
+		t.Fatalf("anchored %d msgs, inflight %d; want 3, 3", len(col.ids), sp.inflight)
+	}
+
+	committed := func() int64 {
+		off, err := broker.CommittedOffset("g", "acts", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return off
+	}
+	// Committed offsets advance only with the contiguous acked frontier:
+	// acking offset 1 alone commits nothing, acking 0 commits through 2.
+	sp.Ack(spoutMsgID{Partition: 0, Offset: 1})
+	if off := committed(); off != 0 {
+		t.Fatalf("out-of-order ack committed offset %d, want 0", off)
+	}
+	sp.Ack(spoutMsgID{Partition: 0, Offset: 0})
+	if off := committed(); off != 2 {
+		t.Fatalf("frontier commit reached %d, want 2", off)
+	}
+
+	// A failed lineage replays from the retained payload under its id.
+	sp.Fail(spoutMsgID{Partition: 0, Offset: 2})
+	if len(col.values) != 4 || string(col.values[3][0].([]byte)) != "m2" {
+		t.Fatalf("replay emissions = %d (%v), want m2 re-emitted", len(col.values), col.values)
+	}
+	sp.Ack(spoutMsgID{Partition: 0, Offset: 2})
+	if sp.inflight != 0 {
+		t.Fatalf("inflight = %d after all acks, want 0", sp.inflight)
+	}
+	if off := committed(); off != 3 {
+		t.Fatalf("committed offset %d after full ack, want 3", off)
+	}
+	// Duplicate results (a restarted task replaying an already-acked
+	// lineage) are tolerated.
+	sp.Ack(spoutMsgID{Partition: 0, Offset: 2})
+	sp.Fail(spoutMsgID{Partition: 0, Offset: 0})
+	if sp.inflight != 0 || len(col.values) != 4 {
+		t.Fatalf("duplicate results disturbed the window: inflight %d, emissions %d", sp.inflight, len(col.values))
+	}
+
+	// Drained and fully acked: the finite-run spout exhausts.
+	if sp.NextTuple() {
+		t.Fatal("NextTuple still true after drain + full ack")
+	}
+	sp.Close()
+}
+
+func TestPretreatmentDedupDropsReplays(t *testing.T) {
+	factory := NewPretreatmentBolt(Params{DedupWindow: 8})
+	var got []stream.Values
+	b1 := factory()
+	b2 := factory() // sibling task: the window is shared via the factory
+	sink := &stubCollector{out: &got}
+	if err := b1.Prepare(stream.TopologyContext{}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Prepare(stream.TopologyContext{}, sink); err != nil {
+		t.Fatal(err)
+	}
+	a := RawAction{User: "u", Item: "i", Action: "click", TS: 1}
+	tu := func(msgid string) *stream.Tuple {
+		return stream.NewTuple("spout", stream.DefaultStream, rawFields,
+			stream.Values{EncodeAction(a), msgid})
+	}
+	if err := b1.Execute(tu("0/7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Execute(tu("0/7")); err != nil { // replay on a sibling task
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("duplicate msgid passed dedup: %d emissions, want 1", len(got))
+	}
+	// Distinct ids pass, and spouts without ids are never deduped.
+	if err := b1.Execute(tu("0/8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Execute(tu("")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Execute(tu("")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d emissions, want 4", len(got))
+	}
+}
+
+// stubCollector is a plain bolt collector capturing emissions.
+type stubCollector struct{ out *[]stream.Values }
+
+func (c *stubCollector) Emit(v stream.Values)             { *c.out = append(*c.out, v) }
+func (c *stubCollector) EmitTo(_ string, v stream.Values) { *c.out = append(*c.out, v) }

@@ -16,8 +16,8 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "== go test -race (stream, topology, tdstore)"
-go test -race ./internal/stream/... ./internal/topology/... ./internal/tdstore/...
+echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore)"
+go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/...
 
 echo "== transport benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/
