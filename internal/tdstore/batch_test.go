@@ -101,6 +101,66 @@ func TestBatchSurvivesFailoverWithOneRefresh(t *testing.T) {
 	}
 }
 
+// TestBatchPutPartialRetryResendsOnlyFailedSubBatch pins down the batch
+// retry contract: when a mid-batch ErrServerDown/ErrNotHost hits one
+// server after other servers' sub-batches already applied, the retry
+// must re-send ONLY the failed server's sub-batch — never the whole
+// batch. Measured by the servers' applied-key counters: across the
+// stale-route attempt and the retry, exactly len(keys) + 0 extra keys
+// are applied (the failed group's keys count once, on their new host).
+func TestBatchPutPartialRetryResendsOnlyFailedSubBatch(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16, Replicas: 2})
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("pr-%d", i))
+		vals = append(vals, []byte{byte(i)})
+	}
+	// Kill a server AFTER the client cached its route, so the next batch
+	// hits the dead server with a stale table.
+	if err := c.KillDataServer("ds-1"); err != nil {
+		t.Fatal(err)
+	}
+	staleRT := cl.cachedRoute()
+	failed := 0
+	for _, k := range keys {
+		if staleRT.Hosts[staleRT.InstanceFor(k)] == "ds-1" {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(keys) {
+		t.Fatalf("bad fixture: %d of %d keys on the dead server", failed, len(keys))
+	}
+
+	appliedBefore := int64(0)
+	for _, ds := range c.Servers() {
+		appliedBefore += ds.batchPutKeys.Load()
+	}
+	if err := cl.BatchPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	appliedAfter := int64(0)
+	for _, ds := range c.Servers() {
+		appliedAfter += ds.batchPutKeys.Load()
+	}
+	applied := appliedAfter - appliedBefore
+	// Re-sending the whole batch on retry would apply ~2x len(keys).
+	if applied != int64(len(keys)) {
+		t.Fatalf("retry applied %d keys in total, want exactly %d (failed sub-batch was %d keys)",
+			applied, len(keys), failed)
+	}
+	// And the data must be intact.
+	got, found, err := cl.BatchGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || got[i][0] != byte(i) {
+			t.Fatalf("key %s lost across partial retry", keys[i])
+		}
+	}
+}
+
 // TestBatchConcurrentWithFailover exercises the batch paths under -race:
 // concurrent batch readers and writers while a server dies and revives.
 func TestBatchConcurrentWithFailover(t *testing.T) {

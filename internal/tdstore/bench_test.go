@@ -1,0 +1,95 @@
+package tdstore
+
+// Store-level microbenchmarks for the contention-free hot path: parallel
+// point reads, batched reads and the Incr counter path through a full
+// cluster (client → route → data server → striped engine). Run with
+// -cpu 1,4,8 to see scaling:
+//
+//	go test -run=NONE -bench=BenchmarkStore -cpu 1,4,8 ./internal/tdstore/
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCluster(b *testing.B) (*Cluster, *Client, []string) {
+	b.Helper()
+	c, err := NewCluster(Options{DataServers: 4, Instances: 16, Replicas: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	cl, err := c.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 4096)
+	vals := make([][]byte, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sb-%d", i)
+		vals[i] = []byte("0123456789abcdef")
+	}
+	if err := cl.BatchPut(keys, vals); err != nil {
+		b.Fatal(err)
+	}
+	c.WaitSync()
+	return c, cl, keys
+}
+
+// BenchmarkStoreParallelGet measures concurrent point reads: one atomic
+// snapshot load per op, then the engine's striped read path.
+func BenchmarkStoreParallelGet(b *testing.B) {
+	_, cl, keys := benchCluster(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok, err := cl.Get(keys[i&(len(keys)-1)]); !ok || err != nil {
+				b.Fatal("missing bench key")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreParallelBatchGet measures the fanned-out batched read:
+// 64 keys per op, grouped per server, sub-batches dispatched
+// concurrently.
+func BenchmarkStoreParallelBatchGet(b *testing.B) {
+	_, cl, keys := benchCluster(b)
+	const batch = 64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		buf := make([]string, batch)
+		for pb.Next() {
+			for j := range buf {
+				buf[j] = keys[(i+j)&(len(keys)-1)]
+			}
+			if _, _, err := cl.BatchGet(buf); err != nil {
+				b.Fatal(err)
+			}
+			i += batch
+		}
+	})
+}
+
+// BenchmarkStoreParallelIncr measures the read-modify-write counter path
+// under its per-instance (not server-wide) write exclusivity.
+func BenchmarkStoreParallelIncr(b *testing.B) {
+	_, cl, _ := benchCluster(b)
+	ctrs := make([]string, 1024)
+	for i := range ctrs {
+		ctrs[i] = fmt.Sprintf("ctr-%d", i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := cl.IncrFloat(ctrs[i&1023], 1); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -2,7 +2,9 @@ package tdstore
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tencentrec/internal/statecodec"
@@ -10,7 +12,55 @@ import (
 )
 
 // clientRetries bounds route-refresh retries before an operation fails.
-const clientRetries = 3
+const clientRetries = 6
+
+// clientRetryBackoff paces operation retries while the cluster reacts to
+// a data-server failure. A kill drains the dead host's replication queue
+// before a slave is promoted, so there is a window where the route table
+// still names the dead server; when a refresh returns an unchanged
+// table, the client waits (doubling up to clientRetryMaxBackoff, ~12ms
+// in total across the retry budget) instead of burning its attempts in
+// microseconds.
+const (
+	clientRetryBackoff    = 250 * time.Microsecond
+	clientRetryMaxBackoff = 4 * time.Millisecond
+)
+
+// batchFanout bounds how many per-server sub-batches of one BatchGet or
+// BatchPut run concurrently. Sub-batches beyond the bound are picked up
+// by the same small worker set as earlier ones finish.
+const batchFanout = 8
+
+// runGroups runs fn(0..n-1) across at most batchFanout workers and waits
+// for all of them. A single group runs inline — the common case for
+// small batches pays no goroutine — and the worker set never exceeds
+// GOMAXPROCS: data servers are in-process and CPU-bound, so extra
+// goroutines beyond the scheduler's parallelism only add switch cost.
+func runGroups(n int, fn func(i int)) {
+	workers := min(n, batchFanout, runtime.GOMAXPROCS(0))
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // routeRefreshRetries bounds how many times refreshRoute re-asks the
 // config servers before giving up, with routeRefreshBackoff doubling up
@@ -50,7 +100,10 @@ func (cl *Client) cachedRoute() *RouteTable {
 	return cl.route
 }
 
-func (cl *Client) refreshRoute() error {
+// refreshRoute re-fetches the route table, reporting whether the cached
+// table actually advanced — callers use an unchanged table as the signal
+// to back off before retrying.
+func (cl *Client) refreshRoute() (advanced bool, err error) {
 	var lastErr error
 	backoff := routeRefreshBackoff
 	for attempt := 0; attempt <= routeRefreshRetries; attempt++ {
@@ -68,11 +121,29 @@ func (cl *Client) refreshRoute() error {
 		cl.mu.Lock()
 		if rt.Version > cl.route.Version {
 			cl.route = rt
+			advanced = true
 		}
 		cl.mu.Unlock()
-		return nil
+		return advanced, nil
 	}
-	return fmt.Errorf("tdstore: route refresh failed after %d attempts: %w", routeRefreshRetries+1, lastErr)
+	return false, fmt.Errorf("tdstore: route refresh failed after %d attempts: %w", routeRefreshRetries+1, lastErr)
+}
+
+// retryPause refreshes the route after a retryable failure and, when the
+// table has not advanced (the config server has not reacted yet), sleeps
+// the current backoff. It returns the next backoff to use.
+func (cl *Client) retryPause(backoff time.Duration) (time.Duration, error) {
+	advanced, err := cl.refreshRoute()
+	if err != nil {
+		return backoff, err
+	}
+	if !advanced {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > clientRetryMaxBackoff {
+			backoff = clientRetryMaxBackoff
+		}
+	}
+	return backoff, nil
 }
 
 // hostFor resolves the current host server of key's instance.
@@ -94,6 +165,7 @@ func retryable(err error) bool {
 // Get returns the value stored under key.
 func (cl *Client) Get(key string) ([]byte, bool, error) {
 	var lastErr error
+	backoff := clientRetryBackoff
 	for attempt := 0; attempt <= clientRetries; attempt++ {
 		ds, inst, err := cl.hostFor(key)
 		if err != nil {
@@ -107,7 +179,7 @@ func (cl *Client) Get(key string) ([]byte, bool, error) {
 		if !retryable(err) {
 			return nil, false, err
 		}
-		if err := cl.refreshRoute(); err != nil {
+		if backoff, err = cl.retryPause(backoff); err != nil {
 			return nil, false, err
 		}
 	}
@@ -138,6 +210,7 @@ func (cl *Client) Delete(key string) error {
 // mutate runs fn on the host engine of key's instance with retry.
 func (cl *Client) mutate(key string, fn func(eng engine.Engine, inst InstanceID) ([]syncOp, error)) error {
 	var lastErr error
+	backoff := clientRetryBackoff
 	for attempt := 0; attempt <= clientRetries; attempt++ {
 		ds, inst, err := cl.hostFor(key)
 		if err != nil {
@@ -153,7 +226,7 @@ func (cl *Client) mutate(key string, fn func(eng engine.Engine, inst InstanceID)
 		if !retryable(err) {
 			return err
 		}
-		if err := cl.refreshRoute(); err != nil {
+		if backoff, err = cl.retryPause(backoff); err != nil {
 			return err
 		}
 	}
@@ -198,11 +271,12 @@ func (cl *Client) GetFloat(key string) (float64, error) {
 }
 
 // BatchGet returns the values for keys in one pass: keys are grouped by
-// their owning data server via the route table and each server handles
-// its whole group in a single call. found[i] reports whether keys[i]
-// exists. A stale route or server failure refreshes the route table once
-// per batch attempt (not once per key) and retries only the failed
-// groups.
+// their owning data server via the route table and the per-server
+// sub-batches are fanned out concurrently (bounded by batchFanout), each
+// server handling its whole group in a single call. found[i] reports
+// whether keys[i] exists. A stale route or server failure refreshes the
+// route table once per batch attempt (not once per key) and retries only
+// the failed servers' sub-batches.
 func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 	vals := make([][]byte, len(keys))
 	found := make([]bool, len(keys))
@@ -214,6 +288,7 @@ func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 		pending[i] = i
 	}
 	var lastErr error
+	backoff := clientRetryBackoff
 	for attempt := 0; attempt <= clientRetries; attempt++ {
 		rt := cl.cachedRoute()
 		groups := make(map[string][]batchGetItem)
@@ -222,21 +297,36 @@ func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 			host := rt.Hosts[inst]
 			groups[host] = append(groups[host], batchGetItem{inst: inst, key: keys[i], pos: i})
 		}
-		var stale []int
+		type getGroup struct {
+			host  string
+			items []batchGetItem
+			err   error
+		}
+		flat := make([]getGroup, 0, len(groups))
 		for host, items := range groups {
-			ds, ok := cl.c.server(host)
+			flat = append(flat, getGroup{host: host, items: items})
+		}
+		// Each group fills disjoint positions of vals/found, so the
+		// sub-batches are data-race free by construction.
+		runGroups(len(flat), func(i int) {
+			g := &flat[i]
+			ds, ok := cl.c.server(g.host)
 			if !ok {
-				return nil, nil, fmt.Errorf("tdstore: route names unknown server %q", host)
+				g.err = fmt.Errorf("tdstore: route names unknown server %q", g.host)
+				return
 			}
-			err := ds.hostBatchGet(items, vals, found)
-			if err == nil {
+			g.err = ds.hostBatchGet(g.items, vals, found)
+		})
+		var stale []int
+		for _, g := range flat {
+			if g.err == nil {
 				continue
 			}
-			if !retryable(err) {
-				return nil, nil, err
+			if !retryable(g.err) {
+				return nil, nil, g.err
 			}
-			lastErr = err
-			for _, it := range items {
+			lastErr = g.err
+			for _, it := range g.items {
 				stale = append(stale, it.pos)
 			}
 		}
@@ -244,7 +334,8 @@ func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 			return vals, found, nil
 		}
 		pending = stale
-		if err := cl.refreshRoute(); err != nil {
+		var err error
+		if backoff, err = cl.retryPause(backoff); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -253,7 +344,9 @@ func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 
 // BatchPut stores values[i] under keys[i], grouping the writes by owning
 // data server so each server applies its group in one call with a single
-// replication sync-op batch. Route refresh and retry follow BatchGet.
+// replication sync-op batch; the per-server groups are dispatched
+// concurrently (bounded by batchFanout). Route refresh and retry follow
+// BatchGet: only a failed server's sub-batch is retried.
 func (cl *Client) BatchPut(keys []string, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("tdstore: batch put has %d keys but %d values", len(keys), len(values))
@@ -270,6 +363,7 @@ func (cl *Client) BatchPut(keys []string, values [][]byte) error {
 		pending[i] = i
 	}
 	var lastErr error
+	backoff := clientRetryBackoff
 	for attempt := 0; attempt <= clientRetries; attempt++ {
 		rt := cl.cachedRoute()
 		groups := make(map[string][]batchPutItem)
@@ -280,27 +374,43 @@ func (cl *Client) BatchPut(keys []string, values [][]byte) error {
 			groups[host] = append(groups[host], batchPutItem{inst: inst, key: keys[i], value: cps[i]})
 			groupIdx[host] = append(groupIdx[host], i)
 		}
-		var stale []int
+		type putGroup struct {
+			host  string
+			items []batchPutItem
+			err   error
+		}
+		flat := make([]putGroup, 0, len(groups))
 		for host, items := range groups {
-			ds, ok := cl.c.server(host)
+			flat = append(flat, putGroup{host: host, items: items})
+		}
+		runGroups(len(flat), func(i int) {
+			g := &flat[i]
+			ds, ok := cl.c.server(g.host)
 			if !ok {
-				return fmt.Errorf("tdstore: route names unknown server %q", host)
+				g.err = fmt.Errorf("tdstore: route names unknown server %q", g.host)
+				return
 			}
-			err := ds.hostBatchPut(items)
-			if err == nil {
+			g.err = ds.hostBatchPut(g.items)
+		})
+		var stale []int
+		for _, g := range flat {
+			if g.err == nil {
 				continue
 			}
-			if !retryable(err) {
-				return err
+			if !retryable(g.err) {
+				return g.err
 			}
-			lastErr = err
-			stale = append(stale, groupIdx[host]...)
+			// Only the failed server's sub-batch is retried; groups that
+			// succeeded are done and are not re-sent.
+			lastErr = g.err
+			stale = append(stale, groupIdx[g.host]...)
 		}
 		if len(stale) == 0 {
 			return nil
 		}
 		pending = stale
-		if err := cl.refreshRoute(); err != nil {
+		var err error
+		if backoff, err = cl.retryPause(backoff); err != nil {
 			return err
 		}
 	}

@@ -3,13 +3,10 @@ package tdstore
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"tencentrec/internal/tdstore/engine"
 )
-
-func syncYield() { runtime.Gosched() }
 
 // Options configure a TDStore cluster.
 type Options struct {
@@ -110,14 +107,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tdstore: create engine: %w", err)
 			}
-			ds.mu.Lock()
-			ds.instances[InstanceID(inst)] = eng
-			ds.mu.Unlock()
+			ds.addInstance(InstanceID(inst), eng)
 		}
-		host.mu.Lock()
-		host.hostOf[InstanceID(inst)] = true
-		host.slaves[InstanceID(inst)] = slaves
-		host.mu.Unlock()
+		host.setHost(InstanceID(inst), slaves)
 	}
 	c.route = rt
 	return c, nil
@@ -191,16 +183,21 @@ func (c *Cluster) ReviveConfigBackup() {
 // detects it (heartbeat timeout in a real deployment, immediate here) and
 // promotes a live slave for every instance the dead server hosted,
 // publishing a new route-table version.
+//
+// Ordering matters for exactness: the down flag is swapped in first, the
+// write fence then waits out every in-flight writer that saw the old
+// snapshot (each such writer enqueues its replication ops before
+// releasing its instance lock), and WaitSync drains those ops to the
+// slaves. Only then is a slave promoted, so the new host has every write
+// the dead host acknowledged.
 func (c *Cluster) KillDataServer(id string) error {
 	ds, ok := c.server(id)
 	if !ok {
 		return fmt.Errorf("tdstore: unknown data server %q", id)
 	}
-	// Let in-flight replication drain so a promoted slave is current with
-	// everything the host acknowledged (the paper's model assumes slave
-	// catch-up; a real deployment would reconcile from the sync log).
-	ds.WaitSync()
 	ds.setDown(true)
+	ds.fenceWrites()
+	ds.WaitSync()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -234,14 +231,8 @@ func (c *Cluster) KillDataServer(id string) error {
 		for _, sid := range rest {
 			slaveServers = append(slaveServers, c.byID[sid])
 		}
-		newHost.mu.Lock()
-		newHost.hostOf[InstanceID(inst)] = true
-		newHost.slaves[InstanceID(inst)] = slaveServers
-		newHost.mu.Unlock()
-		ds.mu.Lock()
-		delete(ds.hostOf, InstanceID(inst))
-		delete(ds.slaves, InstanceID(inst))
-		ds.mu.Unlock()
+		newHost.setHost(InstanceID(inst), slaveServers)
+		ds.clearHost(InstanceID(inst))
 	}
 	if changed {
 		c.route.Version++
@@ -261,13 +252,7 @@ func (c *Cluster) ReviveDataServer(id string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	changed := false
-	ds.mu.Lock()
-	resident := make([]InstanceID, 0, len(ds.instances))
-	for inst := range ds.instances {
-		resident = append(resident, inst)
-	}
-	ds.mu.Unlock()
-	for _, inst := range resident {
+	for _, inst := range ds.residentInstances() {
 		hostID := c.route.Hosts[int(inst)]
 		if hostID == id {
 			continue // still the (possibly only) host
@@ -286,9 +271,7 @@ func (c *Cluster) ReviveDataServer(id string) error {
 		}
 		if !found {
 			c.route.Slaves[int(inst)] = append(c.route.Slaves[int(inst)], id)
-			host.mu.Lock()
-			host.slaves[inst] = append(host.slaves[inst], ds)
-			host.mu.Unlock()
+			host.addSlave(inst, ds)
 			changed = true
 		}
 	}
@@ -301,15 +284,11 @@ func (c *Cluster) ReviveDataServer(id string) error {
 // catchUp copies an instance's full contents from host to the revived
 // replica.
 func catchUp(host, replica *DataServer, inst InstanceID) error {
-	host.mu.Lock()
-	src, ok := host.instances[inst]
-	host.mu.Unlock()
+	src, ok := host.engineOf(inst)
 	if !ok {
 		return fmt.Errorf("tdstore: host %s lacks instance %d", host.ID, inst)
 	}
-	replica.mu.Lock()
-	dst, ok := replica.instances[inst]
-	replica.mu.Unlock()
+	dst, ok := replica.engineOf(inst)
 	if !ok {
 		return fmt.Errorf("tdstore: replica %s lacks instance %d", replica.ID, inst)
 	}
@@ -344,13 +323,12 @@ func (c *Cluster) Close() error {
 	}
 	var first error
 	for _, ds := range servers {
-		ds.mu.Lock()
-		for _, eng := range ds.instances {
+		h := ds.hosting.Load()
+		for _, eng := range h.instances {
 			if err := eng.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
-		ds.mu.Unlock()
 	}
 	return first
 }

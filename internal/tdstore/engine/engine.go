@@ -5,7 +5,7 @@
 // "Memory DataBase (MDB), Level DataBase (LDB), Redis DataBase (RDB), and
 // File DataBase (FDB)" (§3.3). This reproduction implements:
 //
-//   - MDB: a mutex-guarded in-memory hash table (this package);
+//   - MDB: a lock-striped in-memory hash table (this package);
 //   - RDB: Redis is external software, so its role — an in-memory store
 //     with key expiry — is covered by MDB's TTL mode (NewMemoryTTL);
 //   - LDB: a log-structured engine with a write-ahead log, memtable and
@@ -36,13 +36,29 @@ type Engine interface {
 	Close() error
 }
 
-// Memory is the MDB engine: an in-memory map with optional TTL expiry.
-// The zero value is not usable; construct with NewMemory or NewMemoryTTL.
+// memShardCount is the number of lock stripes in an MDB engine. A power
+// of two so shard selection is a mask, sized past the data server's
+// worker fan-out so concurrent readers and writers of different keys
+// rarely share a lock.
+const memShardCount = 16
+
+// Memory is the MDB engine: a lock-striped in-memory map with optional
+// TTL expiry. Keys spread over memShardCount shards, each guarded by its
+// own RWMutex, so concurrent access to different keys does not serialize
+// on one engine-wide lock. The zero value is not usable; construct with
+// NewMemory or NewMemoryTTL.
 type Memory struct {
-	mu    sync.RWMutex
-	data  map[string]memEntry
-	ttl   time.Duration
-	clock func() time.Time
+	shards [memShardCount]memShard
+	ttl    time.Duration
+	clock  func() time.Time
+}
+
+type memShard struct {
+	mu   sync.RWMutex
+	data map[string]memEntry
+	// Pad the 24-byte RWMutex + 8-byte map header to a full cache line
+	// so neighboring shard locks do not false-share.
+	_ [32]byte
 }
 
 type memEntry struct {
@@ -52,7 +68,7 @@ type memEntry struct {
 
 // NewMemory returns an MDB engine without expiry.
 func NewMemory() *Memory {
-	return &Memory{data: make(map[string]memEntry), clock: time.Now}
+	return NewMemoryTTL(0, nil)
 }
 
 // NewMemoryTTL returns an MDB engine whose entries expire ttl after each
@@ -62,25 +78,46 @@ func NewMemoryTTL(ttl time.Duration, clock func() time.Time) *Memory {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Memory{data: make(map[string]memEntry), ttl: ttl, clock: clock}
+	m := &Memory{ttl: ttl, clock: clock}
+	for i := range m.shards {
+		m.shards[i].data = make(map[string]memEntry)
+	}
+	return m
+}
+
+// shardIndex selects a key's stripe with an inlined allocation-free
+// FNV-1a, the same idiom the stream layer's grouping hash uses.
+func shardIndex(key string) uint32 {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h & (memShardCount - 1)
+}
+
+func (m *Memory) shard(key string) *memShard {
+	return &m.shards[shardIndex(key)]
 }
 
 // Get implements Engine.
 func (m *Memory) Get(key string) ([]byte, bool, error) {
-	m.mu.RLock()
-	e, ok := m.data[key]
-	m.mu.RUnlock()
+	sh := m.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.data[key]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
 	if !e.expires.IsZero() && m.clock().After(e.expires) {
-		m.mu.Lock()
+		sh.mu.Lock()
 		// Recheck under the write lock: the entry may have been
 		// refreshed since the read lock was dropped.
-		if e2, ok2 := m.data[key]; ok2 && !e2.expires.IsZero() && m.clock().After(e2.expires) {
-			delete(m.data, key)
+		if e2, ok2 := sh.data[key]; ok2 && !e2.expires.IsZero() && m.clock().After(e2.expires) {
+			delete(sh.data, key)
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false, nil
 	}
 	out := make([]byte, len(e.value))
@@ -96,57 +133,79 @@ func (m *Memory) Put(key string, value []byte) error {
 	if m.ttl > 0 {
 		e.expires = m.clock().Add(m.ttl)
 	}
-	m.mu.Lock()
-	m.data[key] = e
-	m.mu.Unlock()
+	sh := m.shard(key)
+	sh.mu.Lock()
+	sh.data[key] = e
+	sh.mu.Unlock()
 	return nil
 }
 
 // Delete implements Engine.
 func (m *Memory) Delete(key string) error {
-	m.mu.Lock()
-	delete(m.data, key)
-	m.mu.Unlock()
+	sh := m.shard(key)
+	sh.mu.Lock()
+	delete(sh.data, key)
+	sh.mu.Unlock()
 	return nil
 }
 
 // Len implements Engine. Expired entries still resident count as absent.
+// Shards are counted one at a time, so Len is a consistent total only
+// when no writes are concurrent — the same guarantee the engine contract
+// has always given for aggregate reads.
 func (m *Memory) Len() (int, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	n := 0
 	if m.ttl <= 0 {
-		return len(m.data), nil
+		for i := range m.shards {
+			sh := &m.shards[i]
+			sh.mu.RLock()
+			n += len(sh.data)
+			sh.mu.RUnlock()
+		}
+		return n, nil
 	}
 	now := m.clock()
-	n := 0
-	for _, e := range m.data {
-		if e.expires.IsZero() || !now.After(e.expires) {
-			n++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.data {
+			if e.expires.IsZero() || !now.After(e.expires) {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n, nil
 }
 
-// Range implements Engine.
+// Range implements Engine. Each shard is visited under its own read
+// lock; like Len, the iteration is a point-in-time view per shard.
 func (m *Memory) Range(fn func(key string, value []byte) bool) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	now := m.clock()
-	for k, e := range m.data {
-		if !e.expires.IsZero() && now.After(e.expires) {
-			continue
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.data {
+			if !e.expires.IsZero() && now.After(e.expires) {
+				continue
+			}
+			if !fn(k, e.value) {
+				sh.mu.RUnlock()
+				return nil
+			}
 		}
-		if !fn(k, e.value) {
-			return nil
-		}
+		sh.mu.RUnlock()
 	}
 	return nil
 }
 
 // Close implements Engine.
 func (m *Memory) Close() error {
-	m.mu.Lock()
-	m.data = nil
-	m.mu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.data = nil
+		sh.mu.Unlock()
+	}
 	return nil
 }

@@ -3,7 +3,10 @@ package tdstore
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tencentrec/internal/tdstore/engine"
 )
@@ -32,49 +35,169 @@ type syncOp struct {
 	value    []byte
 }
 
+// hosting is a DataServer's immutable topology snapshot: which instances
+// are resident, which of them this server hosts, where their slaves are,
+// and whether the server is down. The hot path (hostGet, hostMutate,
+// hostBatchGet, hostBatchPut) does a single atomic load of the current
+// snapshot and never takes a server-wide lock; topology changes
+// (add/promote/setDown) build a new snapshot and swap it in atomically.
+type hosting struct {
+	down      bool
+	instances map[InstanceID]engine.Engine // all instances resident here
+	hostOf    map[InstanceID]bool          // instances this server serves
+	slaves    map[InstanceID][]*DataServer // instance -> slave servers
+	// writeMu holds one mutex per resident instance, giving hostMutate
+	// its exclusive read-modify-write window (the Incr path) without a
+	// server-wide lock. The mutex pointers are carried across snapshot
+	// swaps, so an instance's writers always contend on the same lock.
+	writeMu map[InstanceID]*sync.Mutex
+}
+
+// clone returns a snapshot copy whose maps may be mutated before the
+// swap. Slave slices and write-mutex pointers are shared: mutators must
+// replace a slaves slice, never edit one in place.
+func (h *hosting) clone() *hosting {
+	return &hosting{
+		down:      h.down,
+		instances: maps.Clone(h.instances),
+		hostOf:    maps.Clone(h.hostOf),
+		slaves:    maps.Clone(h.slaves),
+		writeMu:   maps.Clone(h.writeMu),
+	}
+}
+
 // DataServer stores data instances, serving as host for some and slave
 // for others (§3.3's fine-grained backup).
 type DataServer struct {
 	// ID names the server, e.g. "ds-0".
 	ID string
 
-	mu        sync.Mutex
-	down      bool
-	instances map[InstanceID]engine.Engine // all instances resident here
-	hostOf    map[InstanceID]bool          // instances this server serves
-	slaves    map[InstanceID][]*DataServer // instance -> slave servers
+	// topoMu serializes snapshot swaps; readers never take it.
+	topoMu  sync.Mutex
+	hosting atomic.Pointer[hosting]
 
 	syncMu    sync.Mutex
 	syncQueue []syncOp
-	syncCond  *sync.Cond
-	syncStop  bool
-	syncDone  chan struct{}
+	// workCond wakes the sync loop when ops arrive or stop is requested;
+	// idleCond wakes WaitSync waiters when lag returns to zero.
+	workCond *sync.Cond
+	idleCond *sync.Cond
+	syncStop bool
+	syncDone chan struct{}
 	// lag counts mutations applied at the host but not yet at slaves.
 	lag int
+
+	// batchPutCalls/batchPutKeys count successful hostBatchPut
+	// applications, observed by retry tests to prove a partial batch
+	// failure re-sends only the failed sub-batch.
+	batchPutCalls atomic.Int64
+	batchPutKeys  atomic.Int64
 }
 
 func newDataServer(id string) *DataServer {
 	ds := &DataServer{
-		ID:        id,
+		ID:       id,
+		syncDone: make(chan struct{}),
+	}
+	ds.hosting.Store(&hosting{
 		instances: make(map[InstanceID]engine.Engine),
 		hostOf:    make(map[InstanceID]bool),
 		slaves:    make(map[InstanceID][]*DataServer),
-		syncDone:  make(chan struct{}),
-	}
-	ds.syncCond = sync.NewCond(&ds.syncMu)
+		writeMu:   make(map[InstanceID]*sync.Mutex),
+	})
+	ds.workCond = sync.NewCond(&ds.syncMu)
+	ds.idleCond = sync.NewCond(&ds.syncMu)
 	go ds.syncLoop()
 	return ds
 }
 
+// mutateHosting applies fn to a copy of the current snapshot and swaps
+// the result in. All topology changes funnel through here.
+func (ds *DataServer) mutateHosting(fn func(h *hosting)) {
+	ds.topoMu.Lock()
+	defer ds.topoMu.Unlock()
+	next := ds.hosting.Load().clone()
+	fn(next)
+	ds.hosting.Store(next)
+}
+
+// addInstance materializes an instance (and its write mutex) on this
+// server.
+func (ds *DataServer) addInstance(inst InstanceID, eng engine.Engine) {
+	ds.mutateHosting(func(h *hosting) {
+		h.instances[inst] = eng
+		h.writeMu[inst] = &sync.Mutex{}
+	})
+}
+
+// setHost makes this server the serving host of inst with the given
+// slaves.
+func (ds *DataServer) setHost(inst InstanceID, slaves []*DataServer) {
+	ds.mutateHosting(func(h *hosting) {
+		h.hostOf[inst] = true
+		h.slaves[inst] = append([]*DataServer(nil), slaves...)
+	})
+}
+
+// clearHost strips this server's serving role for inst (it stays
+// resident as a plain replica).
+func (ds *DataServer) clearHost(inst InstanceID) {
+	ds.mutateHosting(func(h *hosting) {
+		delete(h.hostOf, inst)
+		delete(h.slaves, inst)
+	})
+}
+
+// addSlave registers s as an additional slave of inst on this host.
+func (ds *DataServer) addSlave(inst InstanceID, s *DataServer) {
+	ds.mutateHosting(func(h *hosting) {
+		h.slaves[inst] = append(append([]*DataServer(nil), h.slaves[inst]...), s)
+	})
+}
+
+// engineOf returns the resident engine for inst, if any.
+func (ds *DataServer) engineOf(inst InstanceID) (engine.Engine, bool) {
+	h := ds.hosting.Load()
+	eng, ok := h.instances[inst]
+	return eng, ok
+}
+
+// residentInstances lists every instance stored on this server.
+func (ds *DataServer) residentInstances() []InstanceID {
+	h := ds.hosting.Load()
+	out := make([]InstanceID, 0, len(h.instances))
+	for inst := range h.instances {
+		out = append(out, inst)
+	}
+	return out
+}
+
+// fenceWrites acquires and releases every per-instance write mutex.
+// After it returns, every write that observed the previous snapshot has
+// finished applying AND enqueued its replication ops (hostMutate and
+// hostBatchPut enqueue before releasing the instance lock), so
+// setDown-then-fence-then-WaitSync leaves the slaves with everything the
+// host ever acknowledged.
+func (ds *DataServer) fenceWrites() {
+	h := ds.hosting.Load()
+	for _, mu := range h.writeMu {
+		mu.Lock()
+		mu.Unlock() //nolint:staticcheck // empty critical section is the fence
+	}
+}
+
 // syncLoop applies queued mutations to slave replicas in the background,
 // reproducing the paper's "the slave data server will update its data when
-// idle" without involving the config server.
+// idle" without involving the config server. Each drained batch is
+// coalesced — last write wins per (instance, key), a later delete
+// superseding earlier puts — and applied under a single hosting-snapshot
+// load, so a hot key replicates once per drain instead of once per write.
 func (ds *DataServer) syncLoop() {
 	defer close(ds.syncDone)
 	for {
 		ds.syncMu.Lock()
 		for len(ds.syncQueue) == 0 && !ds.syncStop {
-			ds.syncCond.Wait()
+			ds.workCond.Wait()
 		}
 		if ds.syncStop && len(ds.syncQueue) == 0 {
 			ds.syncMu.Unlock()
@@ -84,18 +207,48 @@ func (ds *DataServer) syncLoop() {
 		ds.syncQueue = nil
 		ds.syncMu.Unlock()
 
-		for _, op := range batch {
-			ds.mu.Lock()
-			targets := append([]*DataServer(nil), ds.slaves[op.instance]...)
-			ds.mu.Unlock()
-			for _, slave := range targets {
+		h := ds.hosting.Load()
+		for _, op := range coalesceOps(batch) {
+			for _, slave := range h.slaves[op.instance] {
 				slave.applyReplica(op)
 			}
-			ds.syncMu.Lock()
-			ds.lag--
-			ds.syncMu.Unlock()
+		}
+
+		ds.syncMu.Lock()
+		ds.lag -= len(batch)
+		if ds.lag == 0 {
+			ds.idleCond.Broadcast()
+		}
+		ds.syncMu.Unlock()
+	}
+}
+
+// coalesceOps collapses a drained sync batch to one op per (instance,
+// key), keeping queue order among survivors. Queue order is host apply
+// order, so the last op for a key — put or delete — is the one that
+// matters; everything earlier is superseded.
+func coalesceOps(batch []syncOp) []syncOp {
+	if len(batch) <= 1 {
+		return batch
+	}
+	type opKey struct {
+		inst InstanceID
+		key  string
+	}
+	last := make(map[opKey]int, len(batch))
+	for i, op := range batch {
+		last[opKey{op.instance, op.key}] = i
+	}
+	if len(last) == len(batch) {
+		return batch // nothing to collapse
+	}
+	out := batch[:0]
+	for i, op := range batch {
+		if last[opKey{op.instance, op.key}] == i {
+			out = append(out, op)
 		}
 	}
+	return out
 }
 
 // applyReplica applies one replicated mutation to this server's copy of
@@ -104,11 +257,9 @@ func (ds *DataServer) syncLoop() {
 // promotion path tolerates because the new host already has the data it
 // acknowledged.
 func (ds *DataServer) applyReplica(op syncOp) {
-	ds.mu.Lock()
-	eng, ok := ds.instances[op.instance]
-	down := ds.down
-	ds.mu.Unlock()
-	if !ok || down {
+	h := ds.hosting.Load()
+	eng, ok := h.instances[op.instance]
+	if !ok || h.down {
 		return
 	}
 	switch op.kind {
@@ -119,17 +270,8 @@ func (ds *DataServer) applyReplica(op syncOp) {
 	}
 }
 
-// enqueueSync schedules a mutation for slave catch-up.
-func (ds *DataServer) enqueueSync(op syncOp) {
-	ds.syncMu.Lock()
-	ds.syncQueue = append(ds.syncQueue, op)
-	ds.lag++
-	ds.syncCond.Signal()
-	ds.syncMu.Unlock()
-}
-
-// enqueueSyncBatch schedules a batch of mutations under one lock
-// acquisition and one wake-up — the replication half of a batched write.
+// enqueueSyncBatch schedules mutations for slave catch-up under one lock
+// acquisition and one wake-up.
 func (ds *DataServer) enqueueSyncBatch(ops []syncOp) {
 	if len(ops) == 0 {
 		return
@@ -137,65 +279,66 @@ func (ds *DataServer) enqueueSyncBatch(ops []syncOp) {
 	ds.syncMu.Lock()
 	ds.syncQueue = append(ds.syncQueue, ops...)
 	ds.lag += len(ops)
-	ds.syncCond.Signal()
+	ds.workCond.Signal()
 	ds.syncMu.Unlock()
 }
 
 // WaitSync blocks until every mutation acknowledged by this host has been
 // applied to its slaves. Tests and orderly shutdowns use it; production
-// reads tolerate replica lag as the paper's design does.
+// reads tolerate replica lag as the paper's design does. The wait parks
+// on a condition variable the sync loop broadcasts when lag reaches
+// zero — no busy-wait.
 func (ds *DataServer) WaitSync() {
-	for {
-		ds.syncMu.Lock()
-		lag := ds.lag
-		ds.syncMu.Unlock()
-		if lag == 0 {
-			return
-		}
-		ds.syncCond.Signal()
-		// Busy-wait with a yield; queues drain in microseconds.
-		syncYield()
+	ds.syncMu.Lock()
+	for ds.lag != 0 {
+		ds.idleCond.Wait()
 	}
+	ds.syncMu.Unlock()
 }
 
-// hostGet serves a read for an instance this server hosts.
+// hostGet serves a read for an instance this server hosts: one atomic
+// snapshot load, then straight to the engine.
 func (ds *DataServer) hostGet(instance InstanceID, key string) ([]byte, bool, error) {
-	ds.mu.Lock()
-	if ds.down {
-		ds.mu.Unlock()
+	h := ds.hosting.Load()
+	if h.down {
 		return nil, false, ErrServerDown
 	}
-	if !ds.hostOf[instance] {
-		ds.mu.Unlock()
+	if !h.hostOf[instance] {
 		return nil, false, ErrNotHost
 	}
-	eng := ds.instances[instance]
-	ds.mu.Unlock()
-	return eng.Get(key)
+	return h.instances[instance].Get(key)
 }
 
 // hostMutate serves a write for an instance this server hosts and queues
-// replication. fn runs with exclusive access to the instance, enabling
-// atomic read-modify-write (the Incr path).
+// replication. fn runs with exclusive access to the instance (a
+// per-instance mutex, not a server-wide one), enabling atomic
+// read-modify-write (the Incr path). The snapshot is re-loaded after the
+// lock is taken so a concurrent setDown or promotion is honored, and the
+// replication ops are enqueued before the lock is released so
+// fenceWrites+WaitSync observes them.
 func (ds *DataServer) hostMutate(instance InstanceID, fn func(eng engine.Engine) ([]syncOp, error)) error {
-	ds.mu.Lock()
-	if ds.down {
-		ds.mu.Unlock()
+	h := ds.hosting.Load()
+	if h.down {
 		return ErrServerDown
 	}
-	if !ds.hostOf[instance] {
-		ds.mu.Unlock()
+	mu := h.writeMu[instance]
+	if mu == nil {
 		return ErrNotHost
 	}
-	eng := ds.instances[instance]
-	ops, err := fn(eng)
-	ds.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	h = ds.hosting.Load()
+	if h.down {
+		return ErrServerDown
+	}
+	if !h.hostOf[instance] {
+		return ErrNotHost
+	}
+	ops, err := fn(h.instances[instance])
 	if err != nil {
 		return err
 	}
-	for _, op := range ops {
-		ds.enqueueSync(op)
-	}
+	ds.enqueueSyncBatch(ops)
 	return nil
 }
 
@@ -216,27 +359,20 @@ type batchPutItem struct {
 
 // hostBatchGet serves a batched read covering every instance this server
 // hosts for the caller, filling vals/found at each item's position. The
-// liveness and hosting checks run once per batch, not once per key.
+// liveness and hosting checks run against one snapshot load — no lock
+// and no per-call allocation on this path.
 func (ds *DataServer) hostBatchGet(items []batchGetItem, vals [][]byte, found []bool) error {
-	ds.mu.Lock()
-	if ds.down {
-		ds.mu.Unlock()
+	h := ds.hosting.Load()
+	if h.down {
 		return ErrServerDown
 	}
-	engines := make(map[InstanceID]engine.Engine, 1)
 	for _, it := range items {
-		if _, ok := engines[it.inst]; ok {
-			continue
-		}
-		if !ds.hostOf[it.inst] {
-			ds.mu.Unlock()
+		if !h.hostOf[it.inst] {
 			return ErrNotHost
 		}
-		engines[it.inst] = ds.instances[it.inst]
 	}
-	ds.mu.Unlock()
 	for _, it := range items {
-		v, ok, err := engines[it.inst].Get(it.key)
+		v, ok, err := h.instances[it.inst].Get(it.key)
 		if err != nil {
 			return err
 		}
@@ -245,73 +381,103 @@ func (ds *DataServer) hostBatchGet(items []batchGetItem, vals [][]byte, found []
 	return nil
 }
 
-// hostBatchPut serves a batched write: every key is applied to its
-// instance's engine under one lock acquisition, and the replication
-// sync-ops are enqueued as a single batch.
+// hostBatchPut serves a batched write. Items are grouped by instance and
+// each group is applied under that instance's write mutex with its
+// replication ops enqueued before the mutex is released (the same fence
+// contract as hostMutate). Writers of different instances proceed in
+// parallel.
 func (ds *DataServer) hostBatchPut(items []batchPutItem) error {
-	ds.mu.Lock()
-	if ds.down {
-		ds.mu.Unlock()
+	h := ds.hosting.Load()
+	if h.down {
 		return ErrServerDown
 	}
 	for _, it := range items {
-		if !ds.hostOf[it.inst] {
-			ds.mu.Unlock()
+		if !h.hostOf[it.inst] {
 			return ErrNotHost
 		}
 	}
-	ops := make([]syncOp, 0, len(items))
-	for _, it := range items {
-		if err := ds.instances[it.inst].Put(it.key, it.value); err != nil {
-			ds.mu.Unlock()
-			// Already-applied keys will be re-applied on retry; Put is
+	// Group items into contiguous per-instance runs. Batches are built
+	// key-by-key so instances interleave; a stable sort keeps per-key
+	// order within each instance.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].inst < items[j].inst })
+	for start := 0; start < len(items); {
+		end := start + 1
+		for end < len(items) && items[end].inst == items[start].inst {
+			end++
+		}
+		if err := ds.putRun(items[start].inst, items[start:end]); err != nil {
+			// Already-applied runs will be re-applied on retry; Put is
 			// idempotent so partial application is safe.
 			return err
 		}
-		ops = append(ops, syncOp{kind: opPut, instance: it.inst, key: it.key, value: it.value})
+		start = end
 	}
-	ds.mu.Unlock()
+	ds.batchPutCalls.Add(1)
+	ds.batchPutKeys.Add(int64(len(items)))
+	return nil
+}
+
+// putRun applies one instance's slice of a batched write under its write
+// mutex, enqueueing the replication batch before release.
+func (ds *DataServer) putRun(inst InstanceID, run []batchPutItem) error {
+	h := ds.hosting.Load()
+	mu := h.writeMu[inst]
+	if mu == nil {
+		return ErrNotHost
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	h = ds.hosting.Load()
+	if h.down {
+		return ErrServerDown
+	}
+	if !h.hostOf[inst] {
+		return ErrNotHost
+	}
+	eng := h.instances[inst]
+	ops := make([]syncOp, 0, len(run))
+	for _, it := range run {
+		if err := eng.Put(it.key, it.value); err != nil {
+			return err
+		}
+		ops = append(ops, syncOp{kind: opPut, instance: inst, key: it.key, value: it.value})
+	}
 	ds.enqueueSyncBatch(ops)
 	return nil
 }
 
-// setDown marks the server failed or revived.
+// setDown marks the server failed or revived. Failure paths that need
+// the host's acknowledged writes fully replicated must follow with
+// fenceWrites and WaitSync (see Cluster.KillDataServer).
 func (ds *DataServer) setDown(down bool) {
-	ds.mu.Lock()
-	ds.down = down
-	ds.mu.Unlock()
+	ds.mutateHosting(func(h *hosting) { h.down = down })
 }
 
 // isDown reports the failure flag.
 func (ds *DataServer) isDown() bool {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.down
+	return ds.hosting.Load().down
 }
 
 // stop terminates the sync loop. Used by Cluster.Close.
 func (ds *DataServer) stop() {
 	ds.syncMu.Lock()
 	ds.syncStop = true
-	ds.syncCond.Broadcast()
+	ds.workCond.Broadcast()
 	ds.syncMu.Unlock()
 	<-ds.syncDone
 }
 
 // InstanceCount returns how many instances are resident (host or slave).
 func (ds *DataServer) InstanceCount() int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return len(ds.instances)
+	return len(ds.hosting.Load().instances)
 }
 
 // HostedCount returns how many instances this server currently serves.
 func (ds *DataServer) HostedCount() int {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
+	h := ds.hosting.Load()
 	n := 0
-	for _, h := range ds.hostOf {
-		if h {
+	for _, hosted := range h.hostOf {
+		if hosted {
 			n++
 		}
 	}

@@ -2,6 +2,7 @@ package tdstore
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -166,9 +167,7 @@ func TestReviveRejoinsAsSlave(t *testing.T) {
 	for i := 0; i < 90; i++ {
 		key := fmt.Sprintf("key-%d", i)
 		inst := rt.InstanceFor(key)
-		ds1.mu.Lock()
-		eng, resident := ds1.instances[inst]
-		ds1.mu.Unlock()
+		eng, resident := ds1.engineOf(inst)
 		if !resident {
 			continue
 		}
@@ -199,9 +198,7 @@ func TestReplicationPropagates(t *testing.T) {
 	inst := rt.InstanceFor("k")
 	slaveID := rt.Slaves[inst][0]
 	slave, _ := c.server(slaveID)
-	slave.mu.Lock()
-	eng := slave.instances[inst]
-	slave.mu.Unlock()
+	eng, _ := slave.engineOf(inst)
 	v, ok, err := eng.Get("k")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("slave copy = %q %v %v", v, ok, err)
@@ -243,6 +240,27 @@ func TestFloatCodecRoundTripProperty(t *testing.T) {
 func TestDecodeFloatRejectsBadLength(t *testing.T) {
 	if _, err := DecodeFloat([]byte{1, 2, 3}); err == nil {
 		t.Fatal("DecodeFloat accepted a 3-byte value")
+	}
+}
+
+// TestInstanceForMatchesFNVReference pins the inlined routing hash to
+// the hash/fnv + Fprint form it replaced: placement of existing keys
+// (including on-disk LDB/FDB deployments) must not move.
+func TestInstanceForMatchesFNVReference(t *testing.T) {
+	rt := &RouteTable{NumInstances: 16}
+	ref := func(key string) InstanceID {
+		h := fnv.New32a()
+		fmt.Fprint(h, key)
+		return InstanceID(h.Sum32() % uint32(rt.NumInstances))
+	}
+	for _, key := range []string{"", "a", "user:1", "pair:i1:i2", "ctr:view:i9"} {
+		if got, want := rt.InstanceFor(key), ref(key); got != want {
+			t.Fatalf("InstanceFor(%q) = %d, reference %d", key, got, want)
+		}
+	}
+	f := func(key string) bool { return rt.InstanceFor(key) == ref(key) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
+# and write the results to a JSON snapshot (BENCH_PR4.json by default).
+#
+# Fixed iteration counts (-benchtime=Nx) keep runs comparable across
+# machines and across PRs: the interesting number is ns/op at a known
+# workload, not how many iterations the harness settled on. The store
+# microbenchmarks run at -cpu 1,8 so the snapshot records both the
+# uncontended cost and the contention profile; on a single-core runner
+# the -cpu 8 rows measure scheduler time-slicing, not parallelism (see
+# DESIGN.md section 12).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+tmp="$(mktemp)"
+step="$(mktemp)"
+trap 'rm -f "$tmp" "$step"' EXIT
+
+# run <label> <go test args...>: run one bench package, fail loudly on a
+# bench error (a plain `go test | tee` would hide the exit status).
+run() {
+	label="$1"
+	shift
+	echo "== $label"
+	if ! go test "$@" >"$step" 2>&1; then
+		cat "$step" >&2
+		echo "bench_snapshot: '$label' failed" >&2
+		exit 1
+	fi
+	cat "$step"
+	cat "$step" >>"$tmp"
+}
+
+run "headline pipeline + serving benchmarks (10000x)" \
+	-run=NONE \
+	-bench='BenchmarkPipelineThroughput$|BenchmarkPipelineThroughputAcked$|BenchmarkServingRecommend$' \
+	-benchtime=10000x -count=3 .
+
+run "scaling benchmark (2000x per worker count)" \
+	-run=NONE -bench='BenchmarkScalingParallelism' -benchtime=2000x -count=3 .
+
+run "engine microbenchmarks (-cpu 1,8)" \
+	-run=NONE -bench='BenchmarkMDBConcurrent' \
+	-cpu 1,8 -benchtime=1000000x -count=3 ./internal/tdstore/engine/
+
+run "store cluster benchmarks (-cpu 1,8)" \
+	-run=NONE -bench='BenchmarkStoreParallel' \
+	-cpu 1,8 -benchtime=200000x -count=3 ./internal/tdstore/
+
+echo "== writing $out"
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = ""
+	for (i = 3; i <= NF; i++) if ($(i+1) == "ns/op") { ns = $i; break }
+	if (ns == "") next
+	names[n] = name; iter[n] = iters; nsop[n] = ns; n++
+}
+END {
+	printf "{\n"
+	printf "  \"snapshot\": \"PR4\",\n"
+	printf "  \"cpus\": %s,\n", ncpu
+	printf "  \"note\": \"fixed -benchtime iteration counts; -cpu suffix in names; medians of -count=3 belong to the reader\",\n"
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}%s\n", \
+			names[i], iter[i], nsop[i], (i < n-1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "bench_snapshot: wrote $out"

@@ -22,4 +22,7 @@ go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/
 echo "== transport benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/
 
+echo "== store benchmarks (smoke)"
+go test -run=NONE -bench='BenchmarkMDBConcurrent|BenchmarkStoreParallel' -benchtime=100x ./internal/tdstore/...
+
 echo "check: OK"
