@@ -12,12 +12,16 @@ package tencentrec_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"tencentrec"
 	"tencentrec/internal/core"
+	"tencentrec/internal/obsv"
 	"tencentrec/internal/sim"
 	"tencentrec/internal/topology"
 )
@@ -159,12 +163,15 @@ func BenchmarkFigure14SimilarPurchase(b *testing.B) {
 
 // BenchmarkPipelineThroughput measures raw actions/sec through the full
 // topology (pretreatment → user history → counts → similarity → storage).
+// Observability is on at default sampling — the number this bench
+// reports is the instrumented configuration production would run.
 func BenchmarkPipelineThroughput(b *testing.B) {
 	actions := genBenchActions(b.N, 200, 100)
 	st := topology.NewMemState()
 	p := topology.Params{FlushInterval: 50 * time.Millisecond}
 	topo, err := topology.NewBuilder("bench", topology.NewSliceSpout(actions), st, p).
 		WithParallelism(topology.Parallelism{UserHistory: 4, ItemCount: 2, PairCount: 4, Storage: 2}).
+		WithObservability(obsv.NewRegistry(), obsv.NewTracer(0, 0)).
 		Build()
 	if err != nil {
 		b.Fatal(err)
@@ -244,6 +251,77 @@ func BenchmarkServingRecommend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := srv.RecommendCF(fmt.Sprintf("u%d", i%200), now, 10, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchSystem opens a small populated System with the HTTP front end
+// for serving-layer benches.
+func newBenchSystem(b *testing.B) (*tencentrec.System, *httptest.Server) {
+	b.Helper()
+	sys, err := tencentrec.Open(tencentrec.SystemConfig{
+		DataDir: b.TempDir(),
+		Params:  tencentrec.Params{FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Handler())
+	b.Cleanup(func() {
+		srv.Close()
+		sys.Close()
+	})
+	for u := 0; u < 20; u++ {
+		user := fmt.Sprintf("u%d", u)
+		ts := benchStart.Add(time.Duration(u) * time.Minute)
+		sys.Publish(tencentrec.RawAction{User: user, Item: "a", Action: "play", TS: ts.UnixNano()})
+		sys.Publish(tencentrec.RawAction{User: user, Item: fmt.Sprintf("b%d", u%5), Action: "play", TS: ts.Add(time.Second).UnixNano()})
+	}
+	if err := sys.Drain(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return sys, srv
+}
+
+// BenchmarkHTTPRecommend measures end-to-end serving latency through the
+// HTTP front end, including the per-endpoint request histogram.
+func BenchmarkHTTPRecommend(b *testing.B) {
+	_, srv := newBenchSystem(b)
+	url := srv.URL + "/recommend?user=u1&n=10"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET /recommend = %s", resp.Status)
+		}
+	}
+}
+
+// BenchmarkHTTPMetricsPrometheus measures the cost of one full
+// Prometheus exposition over every registered family.
+func BenchmarkHTTPMetricsPrometheus(b *testing.B) {
+	sys, srv := newBenchSystem(b)
+	_ = sys
+	req, err := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain; version=0.0.4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET /metrics = %s", resp.Status)
 		}
 	}
 }

@@ -11,13 +11,21 @@
 //	GET  /similar?item=i&n=10          similar-items list
 //	GET  /hot?user=u&n=10              demographic hot list
 //	GET  /ads?region=&gender=&age=&n=  situational ad ranking
-//	GET  /metrics                      topology metrics snapshot
+//	GET  /metrics                      topology metrics snapshot (table);
+//	                                   Prometheus text with
+//	                                   Accept: text/plain; version=0.0.4
+//	                                   or ?format=prometheus
+//	GET  /debug/vars                   JSON metrics dump
+//	GET  /debug/traces                 sampled tuple traces
+//	                                   (?format=waterfall for text)
+//	GET  /debug/pprof/                 runtime profiles (with -pprof)
 //
 // Example:
 //
 //	tencentrec -addr :8080 -data /tmp/tencentrec
 //	curl -XPOST localhost:8080/action -d '{"user":"u1","item":"i1","action":"click","ts":0}'
 //	curl 'localhost:8080/recommend?user=u1'
+//	curl -H 'Accept: text/plain; version=0.0.4' localhost:8080/metrics
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -39,6 +48,8 @@ func main() {
 	enableCtr := flag.Bool("ctr", true, "enable the situational CTR chain")
 	enableAR := flag.Bool("ar", false, "enable the association-rule chain")
 	flush := flag.Duration("flush", 100*time.Millisecond, "combiner flush interval")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceEvery := flag.Int("trace-every", 0, "sample one tuple trace per N spout emissions (0 = default 1024, negative = off)")
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "tencentrec: -data is required")
@@ -51,14 +62,24 @@ func main() {
 			FlushInterval: *flush,
 			EnableAR:      *enableAR,
 		},
-		Features: tencentrec.Features{CF: true, CB: *enableCB, Ctr: *enableCtr, AR: *enableAR},
+		Features:   tencentrec.Features{CF: true, CB: *enableCB, Ctr: *enableCtr, AR: *enableAR},
+		TraceEvery: *traceEvery,
 	})
 	if err != nil {
 		log.Fatalf("open system: %v", err)
 	}
 	defer sys.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: sys.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.Handler())
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
 		log.Printf("tencentrec serving on %s (data=%s)", *addr, *dataDir)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
@@ -71,4 +92,10 @@ func main() {
 	<-stop
 	log.Print("shutting down")
 	srv.Close()
+	// Print whatever latency waterfalls were sampled — the monitor's
+	// parting view of where pipeline time went.
+	if traces := sys.Traces(); len(traces) > 0 {
+		fmt.Fprintln(os.Stderr, "sampled tuple traces:")
+		sys.WriteTraceWaterfall(os.Stderr)
+	}
 }

@@ -31,6 +31,7 @@ func main() {
 		StoreReplicas: 2,
 		Params:        tencentrec.Params{FlushInterval: 20 * time.Millisecond},
 		Parallelism:   tencentrec.Parallelism{UserHistory: 3, ItemCount: 2, PairCount: 2},
+		TraceEvery:    1, // trace every tuple so the demo always has waterfalls
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,4 +86,9 @@ func main() {
 
 	fmt.Println("\ntopology metrics:")
 	fmt.Print(sys.Metrics().String())
+
+	if traces := sys.Traces(); len(traces) > 0 {
+		fmt.Printf("\nlatency waterfalls (%d tuples sampled):\n", len(traces))
+		sys.WriteTraceWaterfall(os.Stdout)
+	}
 }

@@ -5,16 +5,32 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"tencentrec/internal/obsv"
 )
 
 // Handler returns the recommender front end of Fig. 9 as an
 // http.Handler: ingestion via POST /action and /item, queries via
 // GET /recommend, /similar, /hot, /ads, and the monitor via
-// GET /metrics. cmd/tencentrec serves exactly this handler.
+// GET /metrics (the human-readable table by default; Prometheus text
+// exposition under Accept: text/plain; version=0.0.4 or
+// ?format=prometheus), GET /debug/vars (JSON metrics dump) and
+// GET /debug/traces (sampled tuple-latency waterfalls).
+// cmd/tencentrec serves exactly this handler.
 func (s *System) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /action", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
+		h := s.registry.Histogram("http_request_seconds",
+			"Serving front-end request latency by endpoint.", "endpoint", endpoint)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := obsv.Now()
+			fn(w, r)
+			h.Observe(obsv.Now() - start)
+		})
+	}
+	handle("POST /action", "action", func(w http.ResponseWriter, r *http.Request) {
 		var a RawAction
 		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -29,7 +45,7 @@ func (s *System) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusAccepted)
 	})
-	mux.HandleFunc("POST /item", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /item", "item", func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
 			ID          string   `json:"id"`
 			Terms       []string `json:"terms"`
@@ -45,37 +61,98 @@ func (s *System) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusAccepted)
 	})
-	mux.HandleFunc("GET /recommend", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /recommend", "recommend", func(w http.ResponseWriter, r *http.Request) {
+		user, ok := requireParam(w, r, "user")
+		if !ok {
+			return
+		}
 		serveList(w, r, func(n int) ([]ScoredItem, error) {
-			return s.Recommend(r.URL.Query().Get("user"), n)
+			return s.Recommend(user, n)
 		})
 	})
-	mux.HandleFunc("GET /similar", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /similar", "similar", func(w http.ResponseWriter, r *http.Request) {
+		item, ok := requireParam(w, r, "item")
+		if !ok {
+			return
+		}
 		serveList(w, r, func(n int) ([]ScoredItem, error) {
-			return s.SimilarItems(r.URL.Query().Get("item"), n)
+			return s.SimilarItems(item, n)
 		})
 	})
-	mux.HandleFunc("GET /hot", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /hot", "hot", func(w http.ResponseWriter, r *http.Request) {
+		user, ok := requireParam(w, r, "user")
+		if !ok {
+			return
+		}
 		serveList(w, r, func(n int) ([]ScoredItem, error) {
-			return s.HotItems(r.URL.Query().Get("user"), n)
+			return s.HotItems(user, n)
 		})
 	})
-	mux.HandleFunc("GET /ads", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /ads", "ads", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		serveList(w, r, func(n int) ([]ScoredItem, error) {
 			return s.TopAds(NewAdContext(q.Get("region"), q.Get("gender"), q.Get("age")), n)
 		})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", obsv.PrometheusContentType)
+			s.registry.WritePrometheus(w)
+			return
+		}
 		fmt.Fprint(w, s.Metrics().String())
+	})
+	handle("GET /debug/vars", "debug_vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.registry.WriteJSON(w)
+	})
+	handle("GET /debug/traces", "debug_traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := s.Traces()
+		if r.URL.Query().Get("format") == "waterfall" {
+			obsv.WriteWaterfall(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if traces == nil {
+			traces = []obsv.TraceSnapshot{}
+		}
+		json.NewEncoder(w).Encode(traces)
 	})
 	return mux
 }
 
+// wantsPrometheus reports whether a /metrics request asked for the
+// Prometheus text exposition instead of the human-readable table. The
+// table stays the default so a bare curl shows the monitor view.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// requireParam fetches a mandatory query parameter, answering 400 when
+// it is absent.
+func requireParam(w http.ResponseWriter, r *http.Request, name string) (string, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		http.Error(w, fmt.Sprintf("missing required query parameter %q", name), http.StatusBadRequest)
+		return "", false
+	}
+	return v, true
+}
+
 func serveList(w http.ResponseWriter, r *http.Request, fn func(n int) ([]ScoredItem, error)) {
-	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
-	if n <= 0 {
-		n = 10
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			http.Error(w, fmt.Sprintf("query parameter n must be a positive integer, got %q", raw), http.StatusBadRequest)
+			return
+		}
+		n = v
 	}
 	list, err := fn(n)
 	if err != nil {

@@ -147,6 +147,134 @@ func TestHTTPAdsEndpoint(t *testing.T) {
 	}
 }
 
+func TestHTTPMetricsContentNegotiation(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		name    string
+		accept  string
+		query   string
+		want    []string // substrings the body must contain
+		ctype   string   // required Content-Type prefix, "" = any
+		exclude string   // substring the body must not contain
+	}{
+		{
+			name: "default is the monitor table",
+			want: []string{"userHistory", "p50-exec", "p99-exec"},
+			// The table must not be the Prometheus exposition.
+			exclude: "# TYPE",
+		},
+		{
+			name:   "prometheus via accept header",
+			accept: "text/plain; version=0.0.4; charset=utf-8",
+			want:   []string{"# TYPE stream_emitted_total counter", "http_request_seconds_bucket"},
+			ctype:  "text/plain; version=0.0.4",
+		},
+		{
+			name:   "prometheus via openmetrics accept",
+			accept: "application/openmetrics-text",
+			want:   []string{"# TYPE stream_execute_seconds histogram"},
+		},
+		{
+			name:  "prometheus via query parameter",
+			query: "?format=prometheus",
+			want:  []string{"tdstore_op_seconds_count", "tdaccess_published_total"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest("GET", srv.URL+"/metrics"+tc.query, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /metrics = %s", resp.Status)
+			}
+			if tc.ctype != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), tc.ctype) {
+				t.Errorf("Content-Type = %q, want prefix %q", resp.Header.Get("Content-Type"), tc.ctype)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(body), want) {
+					t.Errorf("body missing %q:\n%s", want, body)
+				}
+			}
+			if tc.exclude != "" && strings.Contains(string(body), tc.exclude) {
+				t.Errorf("body unexpectedly contains %q", tc.exclude)
+			}
+		})
+	}
+}
+
+func TestHTTPQueryValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"recommend without user", "/recommend", http.StatusBadRequest},
+		{"similar without item", "/similar?n=5", http.StatusBadRequest},
+		{"hot without user", "/hot", http.StatusBadRequest},
+		{"recommend with non-numeric n", "/recommend?user=u1&n=abc", http.StatusBadRequest},
+		{"recommend with negative n", "/recommend?user=u1&n=-3", http.StatusBadRequest},
+		{"similar with zero n", "/similar?item=i1&n=0", http.StatusBadRequest},
+		{"recommend well-formed", "/recommend?user=u1&n=5", http.StatusOK},
+		{"similar well-formed", "/similar?item=i1", http.StatusOK},
+		{"hot well-formed", "/hot?user=u1&n=3", http.StatusOK},
+		{"ads tolerates empty context", "/ads", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestHTTPDebugEndpoints(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not a JSON object: %v", err)
+	}
+	if _, ok := vars["stream_emitted_total"]; !ok {
+		t.Errorf("/debug/vars missing stream_emitted_total, got keys %d", len(vars))
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var traces []json.RawMessage
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatalf("/debug/traces is not a JSON array: %v", err)
+	}
+}
+
 func jsonInt(v int64) string {
 	b, _ := json.Marshal(v)
 	return string(b)

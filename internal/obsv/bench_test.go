@@ -1,0 +1,66 @@
+package obsv
+
+import "testing"
+
+// BenchmarkHistogramObserve must report 0 allocs/op — the histogram
+// sits on the per-tuple execute path. scripts/check.sh asserts this.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkCounterAdd must report 0 allocs/op.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			h.Observe(v)
+			v++
+		}
+	})
+}
+
+func BenchmarkTracerSampleMiss(b *testing.B) {
+	tr := NewTracer(1024, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if t := tr.Sample(); t != nil {
+			t.AddSpan("bench", 0, 1, 2)
+		}
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, comp := range []string{"spout", "pretreatment", "userHistory", "itemCount", "pairCount", "similarity", "storage"} {
+		h := r.Histogram("stream_execute_seconds", "", "component", comp)
+		for i := int64(0); i < 1000; i++ {
+			h.Observe(i * 100)
+		}
+		r.Counter("stream_executed_total", "", "component", comp).Add(1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.WritePrometheus(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,142 @@
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v == 0 for i == 0 and
+// v ∈ [2^(i-1), 2^i) for i ≥ 1. 64-bit values need Len64 values 0..64.
+const histBuckets = 65
+
+// Histogram is a lock-free latency histogram with power-of-two buckets.
+// Observe costs two uncontended atomic adds plus an atomic max (a load
+// and, when the max advances, one CAS) and never allocates, so it can
+// sit on per-tuple and per-request hot paths. Snapshots are consistent
+// enough for monitoring (buckets are read one by one while writers
+// proceed) and merge across instances, which is how per-task histograms
+// roll up into per-component percentiles.
+//
+// Observations are int64 and unit-agnostic; everything in this repo
+// observes nanoseconds. Negative observations count as zero.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a mergeable point-in-time view of a Histogram.
+// The zero value is an empty snapshot, ready to Merge into.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the total of all observed values.
+	Sum int64
+	// Max is the largest observed value.
+	Max int64
+	// Buckets[i] counts observations v with bits.Len64(v) == i.
+	Buckets [histBuckets]int64
+}
+
+// Merge folds another snapshot into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observation, 0 when empty.
+func (s *HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// bucketBounds returns the value range [lo, hi) covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		hi = math.MaxInt64
+	} else {
+		hi = int64(1) << i
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by walking the
+// buckets and interpolating linearly inside the target bucket. The
+// estimate is bounded by Max, so Quantile(1) is exact.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(i)
+			frac := float64(rank-cum) / float64(n)
+			v := lo + int64(frac*float64(hi-lo))
+			if s.Max > 0 && v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += n
+	}
+	return s.Max
+}

@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"time"
+
+	"tencentrec/internal/obsv"
 )
 
 // SpoutFactory creates fresh spout instances. The engine calls it once per
@@ -109,6 +111,8 @@ type TopologyBuilder struct {
 	linger     time.Duration
 	acking     bool
 	ackTimeout time.Duration
+	registry   *obsv.Registry
+	tracer     *obsv.Tracer
 	errs       []error
 }
 
@@ -153,6 +157,25 @@ func (tb *TopologyBuilder) SetAcking(on bool) *TopologyBuilder {
 // after which an incomplete lineage is failed back to its spout.
 func (tb *TopologyBuilder) SetAckTimeout(d time.Duration) *TopologyBuilder {
 	tb.ackTimeout = d
+	return tb
+}
+
+// SetMetricsRegistry binds the topology's runtime metrics (per-component
+// counters, execute-latency histograms, per-task queue-depth gauges) to
+// an obsv Registry for Prometheus/JSON exposition. All bindings are
+// exposition-time callbacks, so exposition adds no hot-path cost.
+func (tb *TopologyBuilder) SetMetricsRegistry(r *obsv.Registry) *TopologyBuilder {
+	tb.registry = r
+	return tb
+}
+
+// SetTracer enables sampled tuple tracing: spout emissions are sampled
+// at the tracer's rate, and every bolt that executes a tuple of a
+// sampled lineage records a span (queue wait + execute time) into the
+// trace. Unsampled emissions pay one atomic increment at the spout and
+// a nil check per executed tuple.
+func (tb *TopologyBuilder) SetTracer(tr *obsv.Tracer) *TopologyBuilder {
+	tb.tracer = tr
 	return tb
 }
 
@@ -269,6 +292,8 @@ func (tb *TopologyBuilder) Build() (*Topology, error) {
 		linger:     tb.linger,
 		acking:     tb.acking,
 		ackTimeout: tb.ackTimeout,
+		registry:   tb.registry,
+		tracer:     tb.tracer,
 	}
 	t.order = t.topoOrder()
 	return t, nil

@@ -6,20 +6,28 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"tencentrec/internal/obsv"
 )
 
 // metricsShard holds one task's counters. Each task updates only its own
 // shard, so the atomics are uncontended; the struct is padded to a cache
 // line so neighbouring tasks never false-share. The hot path batches
 // updates further: tasks accumulate plain local counters and fold them
-// into the shard once per transport flush, not once per tuple.
+// into the shard once per transport flush, not once per tuple — except
+// exec, the per-tuple execute-latency histogram, whose lock-free Observe
+// is cheap enough to take per tuple and which percentiles require
+// (a folded sum cannot reconstruct a distribution).
 type metricsShard struct {
-	emitted      atomic.Int64
-	executed     atomic.Int64
-	errors       atomic.Int64
-	executeNanos atomic.Int64
-	transferred  atomic.Int64
-	_            [24]byte // pad 5×8 bytes up to a 64-byte cache line
+	emitted     atomic.Int64
+	executed    atomic.Int64
+	errors      atomic.Int64
+	transferred atomic.Int64
+	// exec observes per-tuple Execute latency in nanoseconds, errored
+	// calls included. The histogram lives behind a pointer so the shard
+	// array stays one cache line per task.
+	exec *obsv.Histogram
+	_    [24]byte // pad 4×8 counter bytes + pointer up to a 64-byte line
 }
 
 // componentMetrics holds the per-task shards of one component.
@@ -46,9 +54,23 @@ type Metrics struct {
 func newMetrics(t *Topology) *Metrics {
 	m := &Metrics{components: make(map[string]*componentMetrics), started: time.Now()}
 	for _, name := range t.Components() {
-		m.components[name] = &componentMetrics{shards: make([]metricsShard, t.Parallelism(name))}
+		cm := &componentMetrics{shards: make([]metricsShard, t.Parallelism(name))}
+		for i := range cm.shards {
+			cm.shards[i].exec = obsv.NewHistogram()
+		}
+		m.components[name] = cm
 	}
 	return m
+}
+
+// execSnapshot merges the per-task execute-latency histograms of one
+// component into a single distribution.
+func (cm *componentMetrics) execSnapshot() obsv.HistogramSnapshot {
+	var s obsv.HistogramSnapshot
+	for i := range cm.shards {
+		s.Merge(cm.shards[i].exec.Snapshot())
+	}
+	return s
 }
 
 func (m *Metrics) component(name string) *componentMetrics { return m.components[name] }
@@ -66,8 +88,18 @@ type ComponentStats struct {
 	Executed int64
 	// Errors counts Execute calls that returned an error.
 	Errors int64
-	// AvgExecute is the mean Execute latency.
+	// AvgExecute is the mean per-tuple Execute latency, derived from the
+	// same histogram as the percentiles (Sum/Count), so the columns of a
+	// snapshot are always mutually consistent. Errored Execute calls are
+	// included: an error return still consumed the measured time, and
+	// excluding it would make a failing component look faster than it is.
 	AvgExecute time.Duration
+	// P50Execute, P99Execute and MaxExecute are percentile estimates of
+	// the per-tuple Execute latency, from power-of-two-bucketed
+	// histograms (bucket-resolution estimates; MaxExecute is exact).
+	P50Execute time.Duration
+	P99Execute time.Duration
+	MaxExecute time.Duration
 	// TicksSkipped counts interval ticks dropped because the task's
 	// input queue was full at tick time.
 	TicksSkipped int64
@@ -103,17 +135,18 @@ func (m *Metrics) snapshot() *MetricsSnapshot {
 			Dropped:      cm.dropped.Load(),
 			Failed:       cm.failed.Load(),
 		}
-		var nanos int64
 		for i := range cm.shards {
 			sh := &cm.shards[i]
 			st.Emitted += sh.emitted.Load()
 			st.Executed += sh.executed.Load()
 			st.Errors += sh.errors.Load()
-			nanos += sh.executeNanos.Load()
 			s.Transferred += sh.transferred.Load()
 		}
-		if st.Executed > 0 {
-			st.AvgExecute = time.Duration(nanos / st.Executed)
+		if exec := cm.execSnapshot(); exec.Count > 0 {
+			st.AvgExecute = time.Duration(exec.Mean())
+			st.P50Execute = time.Duration(exec.Quantile(0.50))
+			st.P99Execute = time.Duration(exec.Quantile(0.99))
+			st.MaxExecute = time.Duration(exec.Max)
 		}
 		s.Components[name] = st
 	}
@@ -130,10 +163,10 @@ func (s *MetricsSnapshot) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime=%v transferred=%d\n", s.Uptime.Round(time.Millisecond), s.Transferred)
-	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %10s %8s %8s\n", "component", "emitted", "executed", "errors", "avg-exec", "ticks-skip", "dropped", "failed")
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %12s %12s %10s %8s %8s\n", "component", "emitted", "executed", "errors", "avg-exec", "p50-exec", "p99-exec", "ticks-skip", "dropped", "failed")
 	for _, n := range names {
 		c := s.Components[n]
-		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %10d %8d %8d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.TicksSkipped, c.Dropped, c.Failed)
+		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %12v %12v %10d %8d %8d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.P50Execute, c.P99Execute, c.TicksSkipped, c.Dropped, c.Failed)
 	}
 	return b.String()
 }

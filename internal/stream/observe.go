@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"strconv"
+
+	"tencentrec/internal/obsv"
+)
+
+// registerObservability binds a running topology's metrics into an obsv
+// Registry. Everything is registered as exposition-time callbacks over
+// state the engine already maintains (the per-task metrics shards and
+// input channels), so enabling Prometheus exposition adds zero hot-path
+// cost beyond what the engine pays anyway. Re-submitting a topology with
+// the same registry re-binds the callbacks to the new runtime — the
+// ...Func registrations replace their predecessors.
+func (rt *runtime) registerObservability(r *obsv.Registry) {
+	for name, cm := range rt.metrics.components {
+		cm := cm
+		sum := func(read func(*metricsShard) int64) func() int64 {
+			return func() int64 {
+				var n int64
+				for i := range cm.shards {
+					n += read(&cm.shards[i])
+				}
+				return n
+			}
+		}
+		r.CounterFunc("stream_emitted_total",
+			"Tuples emitted by the component on any stream.",
+			sum(func(sh *metricsShard) int64 { return sh.emitted.Load() }),
+			"component", name)
+		r.CounterFunc("stream_executed_total",
+			"Tuples processed by the component's Execute.",
+			sum(func(sh *metricsShard) int64 { return sh.executed.Load() }),
+			"component", name)
+		r.CounterFunc("stream_errors_total",
+			"Execute calls that returned an error.",
+			sum(func(sh *metricsShard) int64 { return sh.errors.Load() }),
+			"component", name)
+		r.CounterFunc("stream_dropped_total",
+			"Data tuples discarded without execution (failed restart drain).",
+			func() int64 { return cm.dropped.Load() },
+			"component", name)
+		r.CounterFunc("stream_failed_total",
+			"Anchored spout messages failed back to this spout.",
+			func() int64 { return cm.failed.Load() },
+			"component", name)
+		r.CounterFunc("stream_ticks_skipped_total",
+			"Interval ticks dropped because a task queue was full.",
+			func() int64 { return cm.ticksSkipped.Load() },
+			"component", name)
+		r.HistogramFunc("stream_execute_seconds",
+			"Per-tuple Execute latency, merged across the component's tasks.",
+			cm.execSnapshot,
+			"component", name)
+	}
+	r.CounterFunc("stream_transferred_total",
+		"Tuple deliveries across all edges (replication counted per copy).",
+		func() int64 {
+			var n int64
+			for _, cm := range rt.metrics.components {
+				for i := range cm.shards {
+					n += cm.shards[i].transferred.Load()
+				}
+			}
+			return n
+		})
+	for name, tasks := range rt.tasks {
+		for i, tk := range tasks {
+			tk := tk
+			r.GaugeFunc("stream_queue_depth_batches",
+				"Batches waiting in a task's input queue.",
+				func() int64 { return int64(len(tk.in)) },
+				"component", name, "task", strconv.Itoa(i))
+		}
+	}
+}

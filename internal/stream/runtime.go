@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tencentrec/internal/obsv"
 )
 
 // Topology is a validated processing graph, ready to run.
@@ -23,6 +25,8 @@ type Topology struct {
 	linger     time.Duration
 	acking     bool
 	ackTimeout time.Duration
+	registry   *obsv.Registry
+	tracer     *obsv.Tracer
 }
 
 // Components returns the names of all components, spouts first.
@@ -112,7 +116,8 @@ type runtime struct {
 	onError  func(component string, err error)
 	maxBatch int
 	linger   time.Duration
-	ak       *acker // nil unless the topology was built with SetAcking
+	ak       *acker       // nil unless the topology was built with SetAcking
+	tracer   *obsv.Tracer // nil unless the topology was built with SetTracer
 
 	spoutStop  chan struct{} // closed to ask spouts to stop early
 	tickerStop chan struct{}
@@ -164,13 +169,19 @@ type collector struct {
 	curXor   uint64
 	ackBuf   []ackerMsg
 
+	// Tracing state, mirroring the curRoot anchoring pattern: tracer is
+	// set on spout collectors only and samples new traces at emission;
+	// curTrace is the trace of the tuple a bolt is currently executing,
+	// inherited by everything it emits.
+	tracer   *obsv.Tracer
+	curTrace *obsv.Trace
+
 	// local counters, folded into sm by flushAll
-	emitted      int64
-	transferred  int64
-	executed     int64
-	errors       int64
-	executeNanos int64
-	acked        int64 // executed input tuples not yet subtracted from pending
+	emitted     int64
+	transferred int64
+	executed    int64
+	errors      int64
+	acked       int64 // executed input tuples not yet subtracted from pending
 
 	lastFlush time.Time
 }
@@ -184,6 +195,9 @@ func newCollector(tk *task, rt *runtime) *collector {
 		outs:      make(map[string]*streamOut),
 		ak:        rt.ak,
 		lastFlush: time.Now(),
+	}
+	if tk.isSpout {
+		c.tracer = rt.tracer
 	}
 	for stream, fields := range rt.fields[tk.component] {
 		so := &streamOut{fields: fields}
@@ -208,11 +222,21 @@ func (c *collector) emitTo(stream string, values Values) {
 	if out == nil || len(out.edges) == 0 {
 		return // no subscribers: dropped, as before
 	}
+	// A bolt's emissions inherit the trace of the tuple being executed;
+	// a spout emission is where sampling happens (tracer is set on spout
+	// collectors only — the unsampled case costs one atomic increment).
+	tr := c.curTrace
+	if tr == nil && c.tracer != nil {
+		tr = c.tracer.Sample()
+	}
 	if c.curRoot != 0 {
-		c.emitAnchoredTuples(out, stream, values)
+		c.emitAnchoredTuples(out, stream, values, tr)
 		return
 	}
 	t := getTuple(c.task.component, stream, values, out.fields)
+	if tr != nil {
+		t.trace, t.traceEnq = tr, obsv.Now()
+	}
 	if len(out.edges) == 1 {
 		eb := out.edges[0]
 		c.routeBuf = eb.edge.group.route(t, len(eb.edge.tasks), c.task.rng, c.routeBuf[:0])
@@ -248,13 +272,17 @@ func (c *collector) emitTo(stream string, values Values) {
 // clones — downstream tasks only read it. Routing runs against a stack
 // probe tuple before any append, for the same release-safety reason as
 // the multi-edge path above.
-func (c *collector) emitAnchoredTuples(out *streamOut, stream string, values Values) {
+func (c *collector) emitAnchoredTuples(out *streamOut, stream string, values Values, tr *obsv.Trace) {
 	probe := Tuple{Component: c.task.component, Stream: stream, Values: values, fields: out.fields}
 	c.routeBuf = c.routeBuf[:0]
 	c.spanBuf = c.spanBuf[:0]
 	for _, eb := range out.edges {
 		c.routeBuf = eb.edge.group.route(&probe, len(eb.edge.tasks), c.task.rng, c.routeBuf)
 		c.spanBuf = append(c.spanBuf, len(c.routeBuf))
+	}
+	var enq int64
+	if tr != nil {
+		enq = obsv.Now()
 	}
 	pos := 0
 	for k, eb := range out.edges {
@@ -263,6 +291,9 @@ func (c *collector) emitAnchoredTuples(out *streamOut, stream string, values Val
 			t.root = c.curRoot
 			t.ackID = c.newAckID()
 			t.refs.Store(1)
+			if tr != nil {
+				t.trace, t.traceEnq = tr, enq
+			}
 			c.curXor ^= t.ackID
 			c.deliver(eb, i, t)
 		}
@@ -329,10 +360,6 @@ func (c *collector) flushAll() {
 		c.sm.errors.Add(c.errors)
 		c.errors = 0
 	}
-	if c.executeNanos != 0 {
-		c.sm.executeNanos.Add(c.executeNanos)
-		c.executeNanos = 0
-	}
 	if c.acked != 0 {
 		c.rt.pending.Add(-c.acked)
 		c.acked = 0
@@ -368,6 +395,7 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 	if t.acking {
 		rt.ak = newAcker(rt, t.ackTimeout)
 	}
+	rt.tracer = t.tracer
 	seed := int64(1)
 	mkTasks := func(name string, n int, isSpout bool) {
 		ts := make([]*task, n)
@@ -406,6 +434,9 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 				tasks: rt.tasks[b.name],
 			})
 		}
+	}
+	if t.registry != nil {
+		rt.registerObservability(t.registry)
 	}
 	return rt
 }
@@ -483,23 +514,36 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 	}
 }
 
-// execBatch runs the bolt over one received batch, timing the batch as a
-// whole and releasing each tuple to the free list after execution.
+// execBatch runs the bolt over one received batch, timing each tuple's
+// Execute into the task's latency histogram and releasing each tuple to
+// the free list after execution. Timing is chained — the clock is read
+// once per tuple, each read serving as the previous tuple's end and the
+// next one's start — so per-tuple percentiles cost one monotonic clock
+// read plus a lock-free histogram observe per tuple.
 func (rt *runtime) execBatch(decl *boltDecl, b Bolt, col *collector, batch []*Tuple) {
-	start := time.Now()
 	if rt.ak != nil {
 		rt.execBatchAcked(decl, b, col, batch)
 	} else {
+		now := obsv.Now()
 		for _, tup := range batch {
-			if err := b.Execute(tup); err != nil {
+			tr := tup.trace
+			col.curTrace = tr
+			err := b.Execute(tup)
+			end := obsv.Now()
+			col.sm.exec.Observe(end - now)
+			if tr != nil {
+				tr.AddSpan(col.task.component, tup.traceEnq, now, end)
+			}
+			if err != nil {
 				col.errors++
 				rt.onError(decl.name, err)
 			}
 			tup.release()
+			now = end
 		}
+		col.curTrace = nil
 	}
 	col.executed += int64(len(batch))
-	col.executeNanos += time.Since(start).Nanoseconds()
 	col.acked += int64(len(batch))
 }
 
@@ -508,12 +552,20 @@ func (rt *runtime) execBatch(decl *boltDecl, b Bolt, col *collector, batch []*Tu
 // children, and the input's id plus its children's ids are acked as one
 // update (or the root failed, if Execute errored) on the batch's flush.
 func (rt *runtime) execBatchAcked(decl *boltDecl, b Bolt, col *collector, batch []*Tuple) {
+	now := obsv.Now()
 	for _, tup := range batch {
 		root, id := tup.root, tup.ackID
 		if root != 0 {
 			col.curRoot, col.curXor = root, id
 		}
+		tr := tup.trace
+		col.curTrace = tr
 		err := b.Execute(tup)
+		end := obsv.Now()
+		col.sm.exec.Observe(end - now)
+		if tr != nil {
+			tr.AddSpan(col.task.component, tup.traceEnq, now, end)
+		}
 		if root != 0 {
 			xor := col.curXor
 			col.curRoot = 0
@@ -528,7 +580,9 @@ func (rt *runtime) execBatchAcked(decl *boltDecl, b Bolt, col *collector, batch 
 			rt.onError(decl.name, err)
 		}
 		tup.release()
+		now = end
 	}
+	col.curTrace = nil
 }
 
 // dropBatch disposes of one unexecuted batch: tuples are released, the

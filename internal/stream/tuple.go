@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"tencentrec/internal/obsv"
 )
 
 // Values is the payload of a tuple: an ordered list of field values.
@@ -86,6 +88,13 @@ type Tuple struct {
 	// its own XOR id; both are zero on unanchored tuples (see ack.go).
 	root  uint64
 	ackID uint64
+
+	// trace is the sampled trace this tuple's lineage belongs to (nil on
+	// the vast majority of tuples) and traceEnq the obsv.Now() timestamp
+	// at which the tuple was emitted toward its destination, recorded so
+	// the executing task can attribute queue wait to a span.
+	trace    *obsv.Trace
+	traceEnq int64
 }
 
 // NewTuple builds a standalone (unpooled) tuple, for driving a component
@@ -117,6 +126,7 @@ func (t *Tuple) release() {
 		t.Values = nil
 		t.fields = nil
 		t.root, t.ackID = 0, 0
+		t.trace, t.traceEnq = nil, 0
 		tuplePool.Put(t)
 	}
 }

@@ -69,6 +69,9 @@ type master struct {
 type partitionHandle struct {
 	log    *plog
 	server int // index of the owning data server
+	// stamps holds recent publish timestamps for lag measurement; nil
+	// until the broker is instrumented (see observe.go).
+	stamps *pubStamps
 }
 
 // topic is a named stream divided into partitions.
@@ -104,6 +107,9 @@ type Broker struct {
 	serverDown []bool
 	nextCID    int64
 	closed     bool
+	// ins is set by Instrument (under mu); nil on an uninstrumented
+	// broker.
+	ins *brokerInstruments
 }
 
 // NewBroker opens a broker rooted at opts.Dir, recovering any existing
@@ -204,6 +210,9 @@ func (b *Broker) getOrCreateTopicLocked(name string) (*topic, error) {
 		t.parts = append(t.parts, &partitionHandle{log: l, server: p % b.opts.DataServers})
 	}
 	b.topics[name] = t
+	if b.ins != nil {
+		b.registerTopicGaugesLocked(t)
+	}
 	return t, nil
 }
 

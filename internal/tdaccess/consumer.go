@@ -3,6 +3,8 @@ package tdaccess
 import (
 	"fmt"
 	"sort"
+
+	"tencentrec/internal/obsv"
 )
 
 // Consumer reads messages from a topic as part of a consumer group.
@@ -135,6 +137,7 @@ func (c *Consumer) Poll(max int) ([]Message, error) {
 		ph := c.t.parts[p]
 		c.b.mu.Lock()
 		down := c.b.serverDown[ph.server]
+		ins := c.b.ins
 		c.b.mu.Unlock()
 		if down {
 			return out, fmt.Errorf("tdaccess: data server %d serving %s/%d is down", ph.server, c.topicName, p)
@@ -155,6 +158,15 @@ func (c *Consumer) Poll(max int) ([]Message, error) {
 				Key:       key,
 				Payload:   payload,
 			})
+		}
+		if ins != nil && len(bodies) > 0 {
+			ins.consumed.Add(int64(len(bodies)))
+			now := obsv.Now()
+			for i := range bodies {
+				if at, ok := ph.stamps.lookup(c.positions[p] + int64(i)); ok {
+					ins.lag.Observe(now - at)
+				}
+			}
 		}
 		c.positions[p] += int64(len(bodies))
 	}

@@ -1,6 +1,10 @@
 package tdaccess
 
-import "fmt"
+import (
+	"fmt"
+
+	"tencentrec/internal/obsv"
+)
 
 // Producer publishes application data into TDAccess. Producers first
 // consult the master for the topic's partition layout (implicit in
@@ -25,6 +29,7 @@ func (p *Producer) Send(topicName, key string, payload []byte) (partition int, o
 	part := t.partitionFor(key)
 	ph := t.parts[part]
 	down := p.b.serverDown[ph.server]
+	ins := p.b.ins
 	p.b.mu.Unlock()
 	if down {
 		return 0, 0, fmt.Errorf("tdaccess: data server %d serving %s/%d is down", ph.server, topicName, part)
@@ -32,6 +37,10 @@ func (p *Producer) Send(topicName, key string, payload []byte) (partition int, o
 	off, err := ph.log.Append(encodeMessage(key, payload))
 	if err != nil {
 		return 0, 0, err
+	}
+	if ins != nil {
+		ins.published.Inc()
+		ph.stamps.record(off, obsv.Now())
 	}
 	return part, off, nil
 }

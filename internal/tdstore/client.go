@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tencentrec/internal/obsv"
 	"tencentrec/internal/statecodec"
 	"tencentrec/internal/tdstore/engine"
 )
@@ -83,6 +84,10 @@ type Client struct {
 
 	mu    sync.RWMutex
 	route *RouteTable
+
+	// ins is set by Instrument; nil on an uninstrumented client, in
+	// which case operations skip all observability work.
+	ins *clientInstruments
 }
 
 // NewClient returns a client with a freshly fetched route table.
@@ -113,6 +118,9 @@ func (cl *Client) refreshRoute() (advanced bool, err error) {
 				backoff = routeRefreshMaxBackoff
 			}
 		}
+		if cl.ins != nil {
+			cl.ins.refreshes.Inc()
+		}
 		rt, err := cl.c.RouteTable()
 		if err != nil {
 			lastErr = err
@@ -133,6 +141,9 @@ func (cl *Client) refreshRoute() (advanced bool, err error) {
 // table has not advanced (the config server has not reacted yet), sleeps
 // the current backoff. It returns the next backoff to use.
 func (cl *Client) retryPause(backoff time.Duration) (time.Duration, error) {
+	if cl.ins != nil {
+		cl.ins.retries.Inc()
+	}
 	advanced, err := cl.refreshRoute()
 	if err != nil {
 		return backoff, err
@@ -164,6 +175,16 @@ func retryable(err error) bool {
 
 // Get returns the value stored under key.
 func (cl *Client) Get(key string) ([]byte, bool, error) {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		v, ok, err := cl.doGet(key)
+		observe(ins.get, start)
+		return v, ok, err
+	}
+	return cl.doGet(key)
+}
+
+func (cl *Client) doGet(key string) ([]byte, bool, error) {
 	var lastErr error
 	backoff := clientRetryBackoff
 	for attempt := 0; attempt <= clientRetries; attempt++ {
@@ -188,6 +209,16 @@ func (cl *Client) Get(key string) ([]byte, bool, error) {
 
 // Put stores value under key and replicates to the instance's slaves.
 func (cl *Client) Put(key string, value []byte) error {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		err := cl.doPut(key, value)
+		observe(ins.put, start)
+		return err
+	}
+	return cl.doPut(key, value)
+}
+
+func (cl *Client) doPut(key string, value []byte) error {
 	cp := append([]byte(nil), value...)
 	return cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
 		if err := eng.Put(key, cp); err != nil {
@@ -199,6 +230,16 @@ func (cl *Client) Put(key string, value []byte) error {
 
 // Delete removes key.
 func (cl *Client) Delete(key string) error {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		err := cl.doDelete(key)
+		observe(ins.del, start)
+		return err
+	}
+	return cl.doDelete(key)
+}
+
+func (cl *Client) doDelete(key string) error {
 	return cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
 		if err := eng.Delete(key); err != nil {
 			return nil, err
@@ -237,6 +278,16 @@ func (cl *Client) mutate(key string, fn func(eng engine.Engine, inst InstanceID)
 // returns the new value. Missing keys start at zero. This is the
 // primitive behind itemCount/pairCount accumulation.
 func (cl *Client) IncrFloat(key string, delta float64) (float64, error) {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		v, err := cl.doIncrFloat(key, delta)
+		observe(ins.incr, start)
+		return v, err
+	}
+	return cl.doIncrFloat(key, delta)
+}
+
+func (cl *Client) doIncrFloat(key string, delta float64) (float64, error) {
 	var out float64
 	err := cl.mutate(key, func(eng engine.Engine, inst InstanceID) ([]syncOp, error) {
 		cur, ok, err := eng.Get(key)
@@ -278,6 +329,16 @@ func (cl *Client) GetFloat(key string) (float64, error) {
 // route table once per batch attempt (not once per key) and retries only
 // the failed servers' sub-batches.
 func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		vals, found, err := cl.doBatchGet(keys)
+		observe(ins.batchGet, start)
+		return vals, found, err
+	}
+	return cl.doBatchGet(keys)
+}
+
+func (cl *Client) doBatchGet(keys []string) ([][]byte, []bool, error) {
 	vals := make([][]byte, len(keys))
 	found := make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -348,6 +409,16 @@ func (cl *Client) BatchGet(keys []string) ([][]byte, []bool, error) {
 // concurrently (bounded by batchFanout). Route refresh and retry follow
 // BatchGet: only a failed server's sub-batch is retried.
 func (cl *Client) BatchPut(keys []string, values [][]byte) error {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		err := cl.doBatchPut(keys, values)
+		observe(ins.batchPut, start)
+		return err
+	}
+	return cl.doBatchPut(keys, values)
+}
+
+func (cl *Client) doBatchPut(keys []string, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("tdstore: batch put has %d keys but %d values", len(keys), len(values))
 	}

@@ -1,0 +1,47 @@
+package tdstore
+
+import "tencentrec/internal/obsv"
+
+// clientInstruments holds the pre-resolved instruments of an
+// instrumented Client. The struct is reached through one nil-checked
+// pointer per operation, so an uninstrumented client pays a single
+// predictable branch and an instrumented one never resolves a label on
+// the hot path.
+type clientInstruments struct {
+	get      *obsv.Histogram
+	put      *obsv.Histogram
+	del      *obsv.Histogram
+	incr     *obsv.Histogram
+	batchGet *obsv.Histogram
+	batchPut *obsv.Histogram
+
+	retries   *obsv.Counter
+	refreshes *obsv.Counter
+}
+
+// Instrument binds the client's operation latencies and retry counters
+// to the registry: tdstore_op_seconds{op} per-operation histograms
+// (nanosecond observations exposed in seconds), tdstore_retries_total
+// (operation attempts that hit a retryable server error) and
+// tdstore_route_refreshes_total (route-table refetches). Call it at
+// setup, before the client is shared across goroutines.
+func (cl *Client) Instrument(r *obsv.Registry) {
+	const opHelp = "TDStore client operation latency by op."
+	cl.ins = &clientInstruments{
+		get:       r.Histogram("tdstore_op_seconds", opHelp, "op", "get"),
+		put:       r.Histogram("tdstore_op_seconds", opHelp, "op", "put"),
+		del:       r.Histogram("tdstore_op_seconds", opHelp, "op", "delete"),
+		incr:      r.Histogram("tdstore_op_seconds", opHelp, "op", "incr"),
+		batchGet:  r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_get"),
+		batchPut:  r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_put"),
+		retries:   r.Counter("tdstore_retries_total", "Operation attempts retried after a retryable server error."),
+		refreshes: r.Counter("tdstore_route_refreshes_total", "Route table refetches from the config servers."),
+	}
+}
+
+// observe records one operation's latency when the client is
+// instrumented. start is only meaningful when ins != nil; callers guard
+// the clock read the same way.
+func observe(h *obsv.Histogram, start int64) {
+	h.Observe(obsv.Now() - start)
+}

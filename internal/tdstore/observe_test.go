@@ -1,0 +1,76 @@
+package tdstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tencentrec/internal/obsv"
+)
+
+func TestClientInstrument(t *testing.T) {
+	_, cl := newTestCluster(t, Options{})
+	r := obsv.NewRegistry()
+	cl.Instrument(r)
+
+	if err := cl.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.IncrFloat("ctr", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.BatchPut([]string{"a", "b"}, [][]byte{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.BatchGet([]string{"a", "b", "missing"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, op := range []string{"get", "put", "delete", "incr", "batch_get", "batch_put"} {
+		want := `tdstore_op_seconds_count{op="` + op + `"} 1`
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No failures were injected, so neither retries nor extra refreshes
+	// should have been counted.
+	if !strings.Contains(out, "tdstore_retries_total 0") {
+		t.Errorf("expected zero retries:\n%s", out)
+	}
+}
+
+func TestClientRetryCountsInstrumented(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 3, Instances: 6, Replicas: 2})
+	r := obsv.NewRegistry()
+	cl.Instrument(r)
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the host of k's instance: the next Get must retry through a
+	// route refresh, and both counters must reflect it.
+	rt := cl.cachedRoute()
+	inst := rt.InstanceFor("k")
+	if err := c.KillDataServer(rt.Hosts[inst]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("k"); err != nil {
+		t.Fatalf("get after failover: %v", err)
+	}
+	if got := cl.ins.retries.Value(); got == 0 {
+		t.Error("retries counter did not advance across a failover")
+	}
+	if got := cl.ins.refreshes.Value(); got == 0 {
+		t.Error("route refresh counter did not advance across a failover")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tencentrec/internal/obsv"
 	"tencentrec/internal/stream"
 )
 
@@ -70,6 +71,8 @@ type Builder struct {
 	feats      Features
 	acking     bool
 	ackTimeout time.Duration
+	registry   *obsv.Registry
+	tracer     *obsv.Tracer
 }
 
 // NewBuilder starts a topology for one application.
@@ -101,6 +104,18 @@ func (b *Builder) WithItemFeed(feed stream.SpoutFactory) *Builder {
 	return b
 }
 
+// WithObservability binds the topology's runtime metrics to a registry
+// (Prometheus/JSON exposition of per-unit counters, execute-latency
+// histograms and queue depths) and, when tracer is non-nil, samples
+// tuple traces at the tracer's rate so the monitor can print per-stage
+// latency waterfalls. Either argument may be nil to enable just the
+// other.
+func (b *Builder) WithObservability(r *obsv.Registry, tr *obsv.Tracer) *Builder {
+	b.registry = r
+	b.tracer = tr
+	return b
+}
+
 // WithAcking enables at-least-once delivery for the topology: anchored
 // spout emissions are lineage-tracked by the engine's acker and replayed
 // on failure (DESIGN.md §11). timeout is the per-message ack deadline;
@@ -125,6 +140,12 @@ func (b *Builder) Build() (*stream.Topology, error) {
 		if b.ackTimeout > 0 {
 			tb.SetAckTimeout(b.ackTimeout)
 		}
+	}
+	if b.registry != nil {
+		tb.SetMetricsRegistry(b.registry)
+	}
+	if b.tracer != nil {
+		tb.SetTracer(b.tracer)
 	}
 
 	tb.SetSpout(UnitSpout, b.spout, b.par.get(b.par.Spout))

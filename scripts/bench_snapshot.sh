@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
-# and write the results to a JSON snapshot (BENCH_PR4.json by default).
+# and write the results to a JSON snapshot (BENCH_PR5.json by default).
 #
 # Fixed iteration counts (-benchtime=Nx) keep runs comparable across
 # machines and across PRs: the interesting number is ns/op at a known
@@ -15,7 +15,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
+# Snapshot label derived from the output name (BENCH_PR5.json -> PR5),
+# so rerunning under a different name stays self-describing.
+snap="$(basename "$out" .json)"
+snap="${snap#BENCH_}"
 tmp="$(mktemp)"
 step="$(mktemp)"
 trap 'rm -f "$tmp" "$step"' EXIT
@@ -43,6 +47,20 @@ run "headline pipeline + serving benchmarks (10000x)" \
 run "scaling benchmark (2000x per worker count)" \
 	-run=NONE -bench='BenchmarkScalingParallelism' -benchtime=2000x -count=3 .
 
+run "serving front-end benchmarks (2000x)" \
+	-run=NONE \
+	-bench='BenchmarkHTTPRecommend$|BenchmarkHTTPMetricsPrometheus$' \
+	-benchtime=2000x -count=3 .
+
+run "observability hot-path microbenchmarks" \
+	-run=NONE \
+	-bench='BenchmarkHistogramObserve$|BenchmarkCounterAdd$' \
+	-benchtime=1000000x -count=3 ./internal/obsv/
+
+run "observability exposition benchmark" \
+	-run=NONE -bench='BenchmarkWritePrometheus$' \
+	-benchtime=10000x -count=3 ./internal/obsv/
+
 run "engine microbenchmarks (-cpu 1,8)" \
 	-run=NONE -bench='BenchmarkMDBConcurrent' \
 	-cpu 1,8 -benchtime=1000000x -count=3 ./internal/tdstore/engine/
@@ -52,7 +70,7 @@ run "store cluster benchmarks (-cpu 1,8)" \
 	-cpu 1,8 -benchtime=200000x -count=3 ./internal/tdstore/
 
 echo "== writing $out"
-awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" -v snap="$snap" '
 BEGIN { n = 0 }
 /^Benchmark/ {
 	name = $1
@@ -64,7 +82,7 @@ BEGIN { n = 0 }
 }
 END {
 	printf "{\n"
-	printf "  \"snapshot\": \"PR4\",\n"
+	printf "  \"snapshot\": \"%s\",\n", snap
 	printf "  \"cpus\": %s,\n", ncpu
 	printf "  \"note\": \"fixed -benchtime iteration counts; -cpu suffix in names; medians of -count=3 belong to the reader\",\n"
 	printf "  \"results\": [\n"

@@ -16,11 +16,22 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore)"
-go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/...
+echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, obsv)"
+go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/obsv/
 
 echo "== transport benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/
+
+echo "== observability hot path stays allocation-free"
+obsv_out=$(go test -run=NONE -bench='BenchmarkHistogramObserve$|BenchmarkCounterAdd$' \
+	-benchmem -benchtime=10000x ./internal/obsv/)
+echo "$obsv_out"
+if echo "$obsv_out" | awk '/^Benchmark/ { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op" && $i != 0) exit 1 }'; then
+	:
+else
+	echo "check: observability hot path allocates" >&2
+	exit 1
+fi
 
 echo "== store benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkMDBConcurrent|BenchmarkStoreParallel' -benchtime=100x ./internal/tdstore/...

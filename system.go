@@ -2,12 +2,14 @@ package tencentrec
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"tencentrec/internal/core"
 	"tencentrec/internal/ctr"
+	"tencentrec/internal/obsv"
 	"tencentrec/internal/stream"
 	"tencentrec/internal/tdaccess"
 	"tencentrec/internal/tdstore"
@@ -60,6 +62,11 @@ type SystemConfig struct {
 	Features Features
 	// Parallelism sets per-unit task counts. Zero fields mean 1.
 	Parallelism Parallelism
+	// TraceEvery samples one tuple trace per this many spout emissions
+	// for the latency waterfall (Traces, /debug/traces). 0 uses the
+	// default (one per 1024); negative disables tracing entirely.
+	// Metrics are always on — only tracing is rate-controlled.
+	TraceEvery int
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -96,6 +103,8 @@ type System struct {
 	topo     *stream.Topology
 	running  *stream.RunningTopology
 	serving  *topology.Serving
+	registry *obsv.Registry
+	tracer   *obsv.Tracer // nil when TraceEvery < 0
 
 	published atomic.Int64
 }
@@ -131,6 +140,16 @@ func Open(cfg SystemConfig) (*System, error) {
 		cluster.Close()
 		return nil, fmt.Errorf("tencentrec: store client: %w", err)
 	}
+	// One registry observes every layer (Fig. 9's monitor): the stream
+	// engine, the TDStore client, the TDAccess broker and — via Handler —
+	// the serving front end. Instrument before any traffic flows.
+	registry := obsv.NewRegistry()
+	client.Instrument(registry)
+	broker.Instrument(registry)
+	var tracer *obsv.Tracer
+	if c.TraceEvery >= 0 {
+		tracer = obsv.NewTracer(c.TraceEvery, obsv.DefaultTraceRing)
+	}
 	spout := topology.NewTDAccessSpout(topology.TDAccessSpoutConfig{
 		Broker: broker,
 		Topic:  c.Topic,
@@ -139,6 +158,7 @@ func Open(cfg SystemConfig) (*System, error) {
 	topo, err := topology.NewBuilder("tencentrec", spout, client, c.Params).
 		WithFeatures(c.Features).
 		WithParallelism(c.Parallelism).
+		WithObservability(registry, tracer).
 		Build()
 	if err != nil {
 		broker.Close()
@@ -153,6 +173,8 @@ func Open(cfg SystemConfig) (*System, error) {
 		producer: broker.NewProducer(),
 		topo:     topo,
 		serving:  topology.NewServing(client, c.Params),
+		registry: registry,
+		tracer:   tracer,
 	}
 	s.running = topo.Submit()
 	return s, nil
@@ -241,6 +263,27 @@ func (s *System) ARRecommend(user string, n int) ([]ScoredItem, error) {
 
 // Metrics returns a snapshot of the topology metrics (the monitor view).
 func (s *System) Metrics() *stream.MetricsSnapshot { return s.running.Metrics() }
+
+// Registry exposes the system-wide metrics registry: stream, TDStore,
+// TDAccess and serving instruments, exportable via WritePrometheus or
+// WriteJSON.
+func (s *System) Registry() *obsv.Registry { return s.registry }
+
+// Traces exports the sampled tuple traces (oldest first), each a span
+// chain across the topology stages. Empty when TraceEvery < 0 or no
+// sampled tuple has been executed yet.
+func (s *System) Traces() []obsv.TraceSnapshot {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Traces()
+}
+
+// WriteTraceWaterfall renders the sampled traces as per-stage latency
+// waterfalls (queue wait and execution time per stage).
+func (s *System) WriteTraceWaterfall(w io.Writer) {
+	obsv.WriteWaterfall(w, s.Traces())
+}
 
 // KillStoreServer fails a TDStore data server; a slave is promoted and
 // service continues (§3.3). For fault-tolerance demonstrations.
