@@ -11,6 +11,9 @@
 //	GET  /similar?item=i&n=10          similar-items list
 //	GET  /hot?user=u&n=10              demographic hot list
 //	GET  /ads?region=&gender=&age=&n=  situational ad ranking
+//	POST /control/rebalance            ?component=c&parallelism=n (or JSON
+//	                                   body): change a bolt's live task
+//	                                   count without stopping the pipeline
 //	GET  /metrics                      topology metrics snapshot (table);
 //	                                   Prometheus text with
 //	                                   Accept: text/plain; version=0.0.4
@@ -50,6 +53,10 @@ func main() {
 	flush := flag.Duration("flush", 100*time.Millisecond, "combiner flush interval")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceEvery := flag.Int("trace-every", 0, "sample one tuple trace per N spout emissions (0 = default 1024, negative = off)")
+	queueDepth := flag.Int("queue-depth", 0, "per-task input queue capacity in batches (0 = engine default)")
+	bpHigh := flag.Int("bp-high", 0, "backpressure high-water mark in queued batches (0 = throttle off)")
+	bpLow := flag.Int("bp-low", 0, "backpressure low-water mark (required with -bp-high; 0 < low < high)")
+	overflowSpill := flag.Bool("overflow", false, "spill bursts to a disk ring under the data dir instead of stalling ingest")
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "tencentrec: -data is required")
@@ -62,8 +69,12 @@ func main() {
 			FlushInterval: *flush,
 			EnableAR:      *enableAR,
 		},
-		Features:   tencentrec.Features{CF: true, CB: *enableCB, Ctr: *enableCtr, AR: *enableAR},
-		TraceEvery: *traceEvery,
+		Features:         tencentrec.Features{CF: true, CB: *enableCB, Ctr: *enableCtr, AR: *enableAR},
+		TraceEvery:       *traceEvery,
+		QueueDepth:       *queueDepth,
+		BackpressureHigh: *bpHigh,
+		BackpressureLow:  *bpLow,
+		OverflowSpill:    *overflowSpill,
 	})
 	if err != nil {
 		log.Fatalf("open system: %v", err)

@@ -13,9 +13,10 @@ import (
 
 // Handler returns the recommender front end of Fig. 9 as an
 // http.Handler: ingestion via POST /action and /item, queries via
-// GET /recommend, /similar, /hot, /ads, and the monitor via
-// GET /metrics (the human-readable table by default; Prometheus text
-// exposition under Accept: text/plain; version=0.0.4 or
+// GET /recommend, /similar, /hot, /ads, operations via
+// POST /control/rebalance (live bolt parallelism changes), and the
+// monitor via GET /metrics (the human-readable table by default;
+// Prometheus text exposition under Accept: text/plain; version=0.0.4 or
 // ?format=prometheus), GET /debug/vars (JSON metrics dump) and
 // GET /debug/traces (sampled tuple-latency waterfalls).
 // cmd/tencentrec serves exactly this handler.
@@ -92,6 +93,43 @@ func (s *System) Handler() http.Handler {
 		q := r.URL.Query()
 		serveList(w, r, func(n int) ([]ScoredItem, error) {
 			return s.TopAds(NewAdContext(q.Get("region"), q.Get("gender"), q.Get("age")), n)
+		})
+	})
+	handle("POST /control/rebalance", "control_rebalance", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Component   string `json:"component"`
+			Parallelism int    `json:"parallelism"`
+		}
+		// Accept the arguments as JSON body or query parameters, so the
+		// operation is one curl away.
+		q := r.URL.Query()
+		body.Component = q.Get("component")
+		if raw := q.Get("parallelism"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("query parameter parallelism must be an integer, got %q", raw), http.StatusBadRequest)
+				return
+			}
+			body.Parallelism = v
+		}
+		if body.Component == "" || body.Parallelism == 0 {
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				http.Error(w, "need component and parallelism, as query parameters or a JSON body", http.StatusBadRequest)
+				return
+			}
+		}
+		if err := s.Rebalance(body.Component, body.Parallelism); err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "unknown component") {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"component":   body.Component,
+			"parallelism": s.Parallelism(body.Component),
 		})
 	})
 	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -106,6 +106,57 @@ func TestHTTPFrontEnd(t *testing.T) {
 	}
 }
 
+func TestHTTPControlRebalance(t *testing.T) {
+	sys, srv := newTestServer(t)
+
+	// Scale a bolt up via query parameters.
+	resp := postJSON(t, srv.URL+"/control/rebalance?component=userHistory&parallelism=3", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance via query = %s", resp.Status)
+	}
+	if got := sys.Parallelism("userHistory"); got != 3 {
+		t.Fatalf("parallelism after rebalance = %d, want 3", got)
+	}
+	// And back down via JSON body, checking the echoed state.
+	r, err := http.Post(srv.URL+"/control/rebalance", "application/json",
+		strings.NewReader(`{"component":"userHistory","parallelism":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance via body = %s", r.Status)
+	}
+	var out struct {
+		Component   string `json:"component"`
+		Parallelism int    `json:"parallelism"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Component != "userHistory" || out.Parallelism != 1 {
+		t.Fatalf("rebalance response = %+v", out)
+	}
+
+	// Error paths: unknown component 404, bad parallelism / spout 400.
+	resp = postJSON(t, srv.URL+"/control/rebalance?component=nope&parallelism=2", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown component = %s, want 404", resp.Status)
+	}
+	resp = postJSON(t, srv.URL+"/control/rebalance?component=spout&parallelism=2", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("spout rebalance = %s, want 400", resp.Status)
+	}
+	resp = postJSON(t, srv.URL+"/control/rebalance?component=userHistory&parallelism=-1", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallelism = %s, want 400", resp.Status)
+	}
+	resp = postJSON(t, srv.URL+"/control/rebalance", "{not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %s, want 400", resp.Status)
+	}
+}
+
 func TestHTTPBadRequests(t *testing.T) {
 	_, srv := newTestServer(t)
 	resp := postJSON(t, srv.URL+"/action", "{not json")

@@ -31,9 +31,10 @@ const DefaultAckTimeout = 30 * time.Second
 // transport flush.
 const ackerFlushLen = 256
 
-// ackerQueueDepth bounds the acker's input channel, in batches. A full
+// DefaultAckerQueueDepth bounds the acker's input channel, in batches,
+// unless overridden with TopologyBuilder.SetAckerQueueDepth. A full
 // channel exerts backpressure on the sending tasks.
-const ackerQueueDepth = 1024
+const DefaultAckerQueueDepth = 1024
 
 type ackerMsgKind uint8
 
@@ -80,14 +81,17 @@ type acker struct {
 	pending map[uint64]*rootEntry
 }
 
-func newAcker(rt *runtime, timeout time.Duration) *acker {
+func newAcker(rt *runtime, timeout time.Duration, depth int) *acker {
 	if timeout <= 0 {
 		timeout = DefaultAckTimeout
+	}
+	if depth <= 0 {
+		depth = DefaultAckerQueueDepth
 	}
 	return &acker{
 		rt:      rt,
 		timeout: timeout,
-		in:      make(chan []ackerMsg, ackerQueueDepth),
+		in:      make(chan []ackerMsg, depth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*rootEntry),

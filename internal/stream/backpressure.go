@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"tencentrec/internal/obsv"
+)
+
+// backpressure is the credit-based spout throttle (enabled with
+// TopologyBuilder.SetBackpressure). Spouts consult shouldPause between
+// NextTuple polls: when the aggregate depth of all bolt input queues —
+// plus the disk overflow ring's backlog, since spilled batches are queued
+// work too — crosses the high-water mark, every spout parks; they resume
+// once the depth drains to the low-water mark. The hysteresis gap keeps
+// the throttle from oscillating at the boundary.
+//
+// This is the engine's analog of Storm's spout-throttling backpressure:
+// instead of letting a full channel block an emitter mid-batch (which
+// stalls the spout at an arbitrary point), the spout stops *polling for
+// new input*, which leaves already-admitted tuples flowing and bounds
+// total queued work at roughly high × maxBatch tuples.
+type backpressure struct {
+	rt   *runtime
+	high int // trip threshold, in queued batches
+	low  int // release threshold
+
+	active atomic.Bool
+	since  atomic.Int64 // obsv.Now() when the throttle last tripped
+
+	pauses      atomic.Int64 // times the throttle tripped
+	pausedNanos atomic.Int64 // cumulative paused time across trips
+}
+
+func newBackpressure(rt *runtime, high, low int) *backpressure {
+	return &backpressure{rt: rt, high: high, low: low}
+}
+
+// depth is the total number of batches queued at bolt inputs plus the
+// overflow ring backlog. It reads each component's live assignment, so a
+// rebalance mid-read costs at most one stale sample.
+func (bp *backpressure) depth() int {
+	d := 0
+	for _, ct := range bp.rt.comps {
+		if ct.isSpout {
+			continue
+		}
+		for _, tk := range ct.tasks() {
+			d += len(tk.in)
+		}
+	}
+	if bp.rt.ovf != nil {
+		d += int(bp.rt.ovf.backlog())
+	}
+	return d
+}
+
+// shouldPause reports whether spouts should skip polling for input right
+// now, updating the trip state with CAS so concurrent spouts agree on
+// trip/release transitions and the counters record each trip once.
+func (bp *backpressure) shouldPause() bool {
+	if bp.active.Load() {
+		if bp.depth() > bp.low {
+			return true
+		}
+		if bp.active.CompareAndSwap(true, false) {
+			bp.pausedNanos.Add(obsv.Now() - bp.since.Load())
+		}
+		return false
+	}
+	if bp.depth() < bp.high {
+		return false
+	}
+	if bp.active.CompareAndSwap(false, true) {
+		bp.since.Store(obsv.Now())
+		bp.pauses.Add(1)
+	}
+	return true
+}

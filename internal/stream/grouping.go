@@ -42,21 +42,61 @@ type Grouping struct {
 	Fields Fields
 }
 
-// route returns the destination task indices for a tuple among n tasks.
-// For AllGrouping the returned slice has length n; otherwise length 1.
-// rng is the per-dispatcher random source used by shuffle grouping.
-func (g Grouping) route(t *Tuple, n int, rng *rand.Rand, scratch []int) []int {
+// NumPartitions is the fixed logical-partition count of the routing layer.
+// Fields grouping hashes a key to one of these partitions, and a mutable
+// per-component assignment table maps partitions to live tasks. The key →
+// partition mapping never changes, so scaling a component up or down only
+// rewrites the partition → task table; every key stays on a stable logical
+// partition across rebalances (the Storm `rebalance` analog). Power of two
+// so the partition pick is a mask, and — for task counts that divide it —
+// (hash & mask) % n equals the pre-partition hash % n routing exactly.
+const NumPartitions = 256
+
+const partMask = NumPartitions - 1
+
+// assignment is an immutable snapshot of one component's live tasks and
+// its partition→task table. Emitters load it atomically per emit; a
+// rebalance installs a fresh assignment only after the topology has
+// drained, so no emitter ever holds buffered tuples routed under a
+// superseded assignment (see runtime.rebalance).
+type assignment struct {
+	tasks []*task
+	// parts maps logical partition → index into tasks. Only fields
+	// grouping consults it; the other groupings derive destinations from
+	// len(tasks) alone.
+	parts [NumPartitions]int32
+}
+
+// newAssignment builds the round-robin partition table over tasks. With
+// all of a component's tasks restarted fresh on rebalance (state lives in
+// the external store), partition affinity carries no value, so the table
+// simply spreads partitions as evenly as possible.
+func newAssignment(tasks []*task) *assignment {
+	a := &assignment{tasks: tasks}
+	n := int32(len(tasks))
+	for p := range a.parts {
+		a.parts[p] = int32(p) % n
+	}
+	return a
+}
+
+// route returns the destination task indices for a tuple under an
+// assignment. For AllGrouping the returned slice has length
+// len(a.tasks); otherwise length 1. rng is the per-dispatcher random
+// source used by shuffle grouping.
+func (g Grouping) route(t *Tuple, a *assignment, rng *rand.Rand, scratch []int) []int {
 	switch g.Kind {
 	case FieldsGrouping:
-		return append(scratch, int(hashValues(t, g.Fields)%uint64(n)))
+		part := hashValues(t, g.Fields) & partMask
+		return append(scratch, int(a.parts[part]))
 	case GlobalGrouping:
 		return append(scratch, 0)
 	case AllGrouping:
-		for i := 0; i < n; i++ {
+		for i := range a.tasks {
 			scratch = append(scratch, i)
 		}
 		return scratch
 	default: // ShuffleGrouping
-		return append(scratch, rng.Intn(n))
+		return append(scratch, rng.Intn(len(a.tasks)))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,9 +31,23 @@ type metricsShard struct {
 	_    [24]byte // pad 4×8 counter bytes + pointer up to a 64-byte line
 }
 
-// componentMetrics holds the per-task shards of one component.
+// componentMetrics holds the per-task shards of one component plus the
+// folded totals of shards retired by past rebalances. mu guards the
+// shards slice identity and the folded accumulators: readers
+// (snapshot, exposition callbacks) take it shared, a rebalance's fold
+// takes it exclusive. The hot path is untouched — tasks write through
+// *metricsShard pointers captured at collector creation, no lock.
 type componentMetrics struct {
+	mu     sync.RWMutex
 	shards []metricsShard
+	// Retired-generation accumulators. A rebalance folds the outgoing
+	// shards here before replacing the slice, so component totals are
+	// continuous across task-count changes.
+	foldedEmitted     int64
+	foldedExecuted    int64
+	foldedErrors      int64
+	foldedTransferred int64
+	foldedExec        obsv.HistogramSnapshot
 	// ticksSkipped counts interval ticks dropped because a task queue
 	// was full. Written only by the component's ticker goroutine.
 	ticksSkipped atomic.Int64
@@ -43,6 +58,27 @@ type componentMetrics struct {
 	// (spout) component as failed, by drop or by ack timeout. Written by
 	// the acker goroutine.
 	failed atomic.Int64
+}
+
+// fold retires the current shard generation into the accumulators and
+// installs n fresh shards for the next generation. Callers must have
+// already stopped every task writing to the current shards (rebalance
+// folds only after each retired task's goroutine has exited).
+func (cm *componentMetrics) fold(n int) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	for i := range cm.shards {
+		sh := &cm.shards[i]
+		cm.foldedEmitted += sh.emitted.Load()
+		cm.foldedExecuted += sh.executed.Load()
+		cm.foldedErrors += sh.errors.Load()
+		cm.foldedTransferred += sh.transferred.Load()
+		cm.foldedExec.Merge(sh.exec.Snapshot())
+	}
+	cm.shards = make([]metricsShard, n)
+	for i := range cm.shards {
+		cm.shards[i].exec = obsv.NewHistogram()
+	}
 }
 
 // Metrics aggregates live counters for a running topology.
@@ -64,20 +100,36 @@ func newMetrics(t *Topology) *Metrics {
 }
 
 // execSnapshot merges the per-task execute-latency histograms of one
-// component into a single distribution.
+// component — retired generations included — into a single distribution.
 func (cm *componentMetrics) execSnapshot() obsv.HistogramSnapshot {
-	var s obsv.HistogramSnapshot
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	s := cm.foldedExec
 	for i := range cm.shards {
 		s.Merge(cm.shards[i].exec.Snapshot())
 	}
 	return s
 }
 
+// sum reads one counter across the live shards plus its folded total.
+func (cm *componentMetrics) sum(folded func(*componentMetrics) int64, read func(*metricsShard) int64) int64 {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	n := folded(cm)
+	for i := range cm.shards {
+		n += read(&cm.shards[i])
+	}
+	return n
+}
+
 func (m *Metrics) component(name string) *componentMetrics { return m.components[name] }
 
 // shard returns the counter shard owned by one task of a component.
 func (m *Metrics) shard(name string, task int) *metricsShard {
-	return &m.components[name].shards[task]
+	cm := m.components[name]
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	return &cm.shards[task]
 }
 
 // ComponentStats is a snapshot of one component's counters.
@@ -111,6 +163,9 @@ type ComponentStats struct {
 	// (a tuple in the lineage was dropped, or the ack timeout fired).
 	// Only ever non-zero on spouts, and only with acking enabled.
 	Failed int64
+	// Tasks is the component's live task count at snapshot time, which a
+	// Rebalance may have changed from the build-time parallelism.
+	Tasks int
 }
 
 // MetricsSnapshot is a point-in-time view of topology metrics.
@@ -135,6 +190,12 @@ func (m *Metrics) snapshot() *MetricsSnapshot {
 			Dropped:      cm.dropped.Load(),
 			Failed:       cm.failed.Load(),
 		}
+		cm.mu.RLock()
+		st.Tasks = len(cm.shards)
+		st.Emitted = cm.foldedEmitted
+		st.Executed = cm.foldedExecuted
+		st.Errors = cm.foldedErrors
+		s.Transferred += cm.foldedTransferred
 		for i := range cm.shards {
 			sh := &cm.shards[i]
 			st.Emitted += sh.emitted.Load()
@@ -142,6 +203,7 @@ func (m *Metrics) snapshot() *MetricsSnapshot {
 			st.Errors += sh.errors.Load()
 			s.Transferred += sh.transferred.Load()
 		}
+		cm.mu.RUnlock()
 		if exec := cm.execSnapshot(); exec.Count > 0 {
 			st.AvgExecute = time.Duration(exec.Mean())
 			st.P50Execute = time.Duration(exec.Quantile(0.50))
@@ -163,10 +225,10 @@ func (s *MetricsSnapshot) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime=%v transferred=%d\n", s.Uptime.Round(time.Millisecond), s.Transferred)
-	fmt.Fprintf(&b, "%-24s %12s %12s %8s %12s %12s %12s %10s %8s %8s\n", "component", "emitted", "executed", "errors", "avg-exec", "p50-exec", "p99-exec", "ticks-skip", "dropped", "failed")
+	fmt.Fprintf(&b, "%-24s %5s %12s %12s %8s %12s %12s %12s %10s %8s %8s\n", "component", "tasks", "emitted", "executed", "errors", "avg-exec", "p50-exec", "p99-exec", "ticks-skip", "dropped", "failed")
 	for _, n := range names {
 		c := s.Components[n]
-		fmt.Fprintf(&b, "%-24s %12d %12d %8d %12v %12v %12v %10d %8d %8d\n", n, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.P50Execute, c.P99Execute, c.TicksSkipped, c.Dropped, c.Failed)
+		fmt.Fprintf(&b, "%-24s %5d %12d %12d %8d %12v %12v %12v %10d %8d %8d\n", n, c.Tasks, c.Emitted, c.Executed, c.Errors, c.AvgExecute, c.P50Execute, c.P99Execute, c.TicksSkipped, c.Dropped, c.Failed)
 	}
 	return b.String()
 }

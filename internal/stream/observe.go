@@ -14,28 +14,32 @@ import (
 // the same registry re-binds the callbacks to the new runtime — the
 // ...Func registrations replace their predecessors.
 func (rt *runtime) registerObservability(r *obsv.Registry) {
+	rt.registry = r
 	for name, cm := range rt.metrics.components {
 		cm := cm
-		sum := func(read func(*metricsShard) int64) func() int64 {
-			return func() int64 {
-				var n int64
-				for i := range cm.shards {
-					n += read(&cm.shards[i])
-				}
-				return n
-			}
-		}
 		r.CounterFunc("stream_emitted_total",
 			"Tuples emitted by the component on any stream.",
-			sum(func(sh *metricsShard) int64 { return sh.emitted.Load() }),
+			func() int64 {
+				return cm.sum(
+					func(c *componentMetrics) int64 { return c.foldedEmitted },
+					func(sh *metricsShard) int64 { return sh.emitted.Load() })
+			},
 			"component", name)
 		r.CounterFunc("stream_executed_total",
 			"Tuples processed by the component's Execute.",
-			sum(func(sh *metricsShard) int64 { return sh.executed.Load() }),
+			func() int64 {
+				return cm.sum(
+					func(c *componentMetrics) int64 { return c.foldedExecuted },
+					func(sh *metricsShard) int64 { return sh.executed.Load() })
+			},
 			"component", name)
 		r.CounterFunc("stream_errors_total",
 			"Execute calls that returned an error.",
-			sum(func(sh *metricsShard) int64 { return sh.errors.Load() }),
+			func() int64 {
+				return cm.sum(
+					func(c *componentMetrics) int64 { return c.foldedErrors },
+					func(sh *metricsShard) int64 { return sh.errors.Load() })
+			},
 			"component", name)
 		r.CounterFunc("stream_dropped_total",
 			"Data tuples discarded without execution (failed restart drain).",
@@ -59,19 +63,80 @@ func (rt *runtime) registerObservability(r *obsv.Registry) {
 		func() int64 {
 			var n int64
 			for _, cm := range rt.metrics.components {
-				for i := range cm.shards {
-					n += cm.shards[i].transferred.Load()
-				}
+				n += cm.sum(
+					func(c *componentMetrics) int64 { return c.foldedTransferred },
+					func(sh *metricsShard) int64 { return sh.transferred.Load() })
 			}
 			return n
 		})
-	for name, tasks := range rt.tasks {
-		for i, tk := range tasks {
-			tk := tk
-			r.GaugeFunc("stream_queue_depth_batches",
-				"Batches waiting in a task's input queue.",
-				func() int64 { return int64(len(tk.in)) },
-				"component", name, "task", strconv.Itoa(i))
-		}
+	for name, ct := range rt.comps {
+		ct := ct
+		r.GaugeFunc("stream_tasks",
+			"Live task count of the component (changes on rebalance).",
+			func() int64 { return int64(len(ct.tasks())) },
+			"component", name)
+		rt.ensureQueueGauges(name, len(ct.tasks()))
 	}
+	r.CounterFunc("stream_rebalances_total",
+		"Completed live rebalances on this topology.",
+		func() int64 { return rt.rebalances.Load() })
+	if rt.bp != nil {
+		r.CounterFunc("stream_backpressure_pauses_total",
+			"Times the spout throttle tripped the high-water mark.",
+			func() int64 { return rt.bp.pauses.Load() })
+		r.CounterFunc("stream_backpressure_paused_nanos_total",
+			"Cumulative nanoseconds spouts spent paused by backpressure.",
+			func() int64 { return rt.bp.pausedNanos.Load() })
+		r.GaugeFunc("stream_backpressure_active",
+			"1 while spouts are paused by the throttle, else 0.",
+			func() int64 {
+				if rt.bp.active.Load() {
+					return 1
+				}
+				return 0
+			})
+	}
+	if rt.ovf != nil {
+		r.CounterFunc("stream_overflow_spilled_batches_total",
+			"Batches diverted to the disk overflow ring.",
+			func() int64 { return rt.ovf.spilledBatches.Load() })
+		r.CounterFunc("stream_overflow_drained_batches_total",
+			"Batches replayed from the disk overflow ring.",
+			func() int64 { return rt.ovf.drainedBatches.Load() })
+		r.CounterFunc("stream_overflow_spilled_tuples_total",
+			"Tuples diverted to the disk overflow ring.",
+			func() int64 { return rt.ovf.spilledTuples.Load() })
+		r.GaugeFunc("stream_overflow_backlog_batches",
+			"Batches currently sitting in the disk overflow ring.",
+			func() int64 { return rt.ovf.backlog() })
+	}
+}
+
+// ensureQueueGauges registers per-task queue-depth gauges for task
+// indexes [0, n). A rebalance that scales a component past its previous
+// maximum calls this again for the new indexes; gauges for indexes above
+// the current task count read 0. Each gauge re-resolves the task through
+// the component's live assignment, so retired generations are never read.
+func (rt *runtime) ensureQueueGauges(name string, n int) {
+	if rt.registry == nil {
+		return
+	}
+	if n <= rt.gaugeMax[name] {
+		return
+	}
+	ct := rt.comps[name]
+	for i := rt.gaugeMax[name]; i < n; i++ {
+		i := i
+		rt.registry.GaugeFunc("stream_queue_depth_batches",
+			"Batches waiting in a task's input queue.",
+			func() int64 {
+				tasks := ct.tasks()
+				if i >= len(tasks) {
+					return 0
+				}
+				return int64(len(tasks[i].in))
+			},
+			"component", name, "task", strconv.Itoa(i))
+	}
+	rt.gaugeMax[name] = n
 }

@@ -25,6 +25,11 @@ type Topology struct {
 	linger     time.Duration
 	acking     bool
 	ackTimeout time.Duration
+	queueDepth int
+	ackerDepth int
+	bpHigh     int // spout throttle high-water mark, in queued batches
+	bpLow      int // spout throttle low-water mark
+	overflow   string
 	registry   *obsv.Registry
 	tracer     *obsv.Tracer
 }
@@ -56,11 +61,12 @@ func (t *Topology) Parallelism(name string) int {
 	return 0
 }
 
-// inputQueueDepth bounds each task's input channel, in batches. Full
-// channels exert backpressure on upstream emitters, which is how the
-// engine survives the temporal burst events of §5.2 without unbounded
-// memory growth (a task buffers at most depth × DefaultMaxBatch tuples).
-const inputQueueDepth = 256
+// DefaultQueueDepth bounds each task's input channel, in batches, unless
+// overridden with TopologyBuilder.SetQueueDepth. Full channels exert
+// backpressure on upstream emitters, which is how the engine survives the
+// temporal burst events of §5.2 without unbounded memory growth (a task
+// buffers at most depth × DefaultMaxBatch tuples).
+const DefaultQueueDepth = 256
 
 // DefaultMaxBatch is the per-destination flush threshold for the
 // micro-batched transport: a destination buffer that reaches this many
@@ -82,12 +88,28 @@ type ctrlMsg int
 const ctrlRestart ctrlMsg = iota
 
 // edge is one compiled subscription: a (source, stream) pair routed to a
-// destination bolt's tasks under a grouping.
+// destination bolt's tasks under a grouping. The destination's live task
+// set is reached through the component's atomic assignment, so a rebalance
+// re-points every edge to the component at once.
 type edge struct {
-	group Grouping
-	dest  string
-	tasks []*task
+	group  Grouping
+	src    string
+	stream string
+	id     int // index into runtime.edgeList, stable across the run
+	dest   *componentTasks
 }
+
+// componentTasks is the mutable task set of one component. The assignment
+// pointer is the single source of truth for the component's live tasks and
+// its partition→task table; emitters, tickers and the control plane all
+// load it atomically.
+type componentTasks struct {
+	name    string
+	isSpout bool
+	assign  atomic.Pointer[assignment]
+}
+
+func (ct *componentTasks) tasks() []*task { return ct.assign.Load().tasks }
 
 type task struct {
 	component string
@@ -95,6 +117,7 @@ type task struct {
 	isSpout   bool
 	in        chan []*Tuple
 	ctrl      chan ctrlMsg
+	done      chan struct{} // closed when the task goroutine has exited
 	rng       *rand.Rand
 	rt        *runtime
 	restarts  atomic.Int64
@@ -108,16 +131,36 @@ type task struct {
 // runtime is a single execution of a topology.
 type runtime struct {
 	topo     *Topology
-	tasks    map[string][]*task
+	comps    map[string]*componentTasks
 	edges    map[string]map[string][]*edge // source -> stream -> edges
+	edgeList []*edge                       // all edges by id, for overflow replay
 	fields   map[string]map[string]Fields  // source -> stream -> field names
 	pending  atomic.Int64
 	metrics  *Metrics
 	onError  func(component string, err error)
 	maxBatch int
 	linger   time.Duration
-	ak       *acker       // nil unless the topology was built with SetAcking
-	tracer   *obsv.Tracer // nil unless the topology was built with SetTracer
+	ak       *acker        // nil unless the topology was built with SetAcking
+	tracer   *obsv.Tracer  // nil unless the topology was built with SetTracer
+	bp       *backpressure // nil unless built with SetBackpressure
+	ovf      *overflow     // nil unless built with SetOverflow
+	registry *obsv.Registry
+
+	// Rebalance machinery (see rebalance): paused gates the spout loops,
+	// pausedSpouts/activeSpouts let the control plane wait until every
+	// live spout has flushed and parked, rebalanceMu serializes rebalances
+	// against each other and against shutdown, and tickGate excludes the
+	// tick dispatchers during the task-set swap so a ticker never sends to
+	// a just-closed input channel.
+	paused       atomic.Bool
+	pausedSpouts atomic.Int64
+	activeSpouts atomic.Int64
+	rebalanceMu  sync.Mutex
+	closed       bool // set under rebalanceMu once shutdown begins
+	tickGate     sync.RWMutex
+	rebalances   atomic.Int64
+	gaugeMax     map[string]int // per component, queue gauges registered so far
+	seedSeq      atomic.Int64   // task rng seed sequence
 
 	spoutStop  chan struct{} // closed to ask spouts to stop early
 	tickerStop chan struct{}
@@ -126,11 +169,28 @@ type runtime struct {
 	spoutWG    sync.WaitGroup
 }
 
+// taskList returns the named component's current live tasks.
+func (rt *runtime) taskList(name string) []*task { return rt.comps[name].tasks() }
+
 // edgeBuf accumulates routed tuples for one edge, one buffer per
-// destination task, until a flush hands the whole batch over.
+// destination task, until a flush hands the whole batch over. It caches
+// the destination assignment it was sized for; sync adopts a new one.
 type edgeBuf struct {
 	edge *edge
+	a    *assignment
 	bufs [][]*Tuple
+}
+
+// sync adopts the destination's current assignment. A rebalance only
+// installs a new assignment while the topology is drained, which — by the
+// enqueue-before-ack invariant (DESIGN.md §10) — implies every collector
+// buffer is empty, so dropping the old buffers loses nothing and no send
+// to a retired task's closed channel can ever happen.
+func (eb *edgeBuf) sync() {
+	if a := eb.edge.dest.assign.Load(); a != eb.a {
+		eb.a = a
+		eb.bufs = make([][]*Tuple, len(a.tasks))
+	}
 }
 
 // streamOut is a component's compiled output for one stream id.
@@ -176,6 +236,13 @@ type collector struct {
 	tracer   *obsv.Tracer
 	curTrace *obsv.Trace
 
+	// Overflow state: ovf is set on spout collectors of topologies built
+	// with SetOverflow; spilling marks the collector as routing batches
+	// through the disk ring until the drainer has caught up, preserving
+	// FIFO order relative to already-spilled batches.
+	ovf      *overflow
+	spilling bool
+
 	// local counters, folded into sm by flushAll
 	emitted     int64
 	transferred int64
@@ -198,11 +265,13 @@ func newCollector(tk *task, rt *runtime) *collector {
 	}
 	if tk.isSpout {
 		c.tracer = rt.tracer
+		c.ovf = rt.ovf
 	}
 	for stream, fields := range rt.fields[tk.component] {
 		so := &streamOut{fields: fields}
 		for _, e := range rt.edges[tk.component][stream] {
-			so.edges = append(so.edges, &edgeBuf{edge: e, bufs: make([][]*Tuple, len(e.tasks))})
+			a := e.dest.assign.Load()
+			so.edges = append(so.edges, &edgeBuf{edge: e, a: a, bufs: make([][]*Tuple, len(a.tasks))})
 		}
 		c.outs[stream] = so
 		c.list = append(c.list, so)
@@ -239,7 +308,8 @@ func (c *collector) emitTo(stream string, values Values) {
 	}
 	if len(out.edges) == 1 {
 		eb := out.edges[0]
-		c.routeBuf = eb.edge.group.route(t, len(eb.edge.tasks), c.task.rng, c.routeBuf[:0])
+		eb.sync()
+		c.routeBuf = eb.edge.group.route(t, eb.a, c.task.rng, c.routeBuf[:0])
 		t.refs.Store(int32(len(c.routeBuf)))
 		for _, i := range c.routeBuf {
 			c.deliver(eb, i, t)
@@ -252,7 +322,8 @@ func (c *collector) emitTo(stream string, values Values) {
 	c.routeBuf = c.routeBuf[:0]
 	c.spanBuf = c.spanBuf[:0]
 	for _, eb := range out.edges {
-		c.routeBuf = eb.edge.group.route(t, len(eb.edge.tasks), c.task.rng, c.routeBuf)
+		eb.sync()
+		c.routeBuf = eb.edge.group.route(t, eb.a, c.task.rng, c.routeBuf)
 		c.spanBuf = append(c.spanBuf, len(c.routeBuf))
 	}
 	t.refs.Store(int32(len(c.routeBuf)))
@@ -277,7 +348,8 @@ func (c *collector) emitAnchoredTuples(out *streamOut, stream string, values Val
 	c.routeBuf = c.routeBuf[:0]
 	c.spanBuf = c.spanBuf[:0]
 	for _, eb := range out.edges {
-		c.routeBuf = eb.edge.group.route(&probe, len(eb.edge.tasks), c.task.rng, c.routeBuf)
+		eb.sync()
+		c.routeBuf = eb.edge.group.route(&probe, eb.a, c.task.rng, c.routeBuf)
 		c.spanBuf = append(c.spanBuf, len(c.routeBuf))
 	}
 	var enq int64
@@ -313,8 +385,16 @@ func (c *collector) deliver(eb *edgeBuf, i int, t *Tuple) {
 }
 
 // flushDest hands one destination's buffered tuples to its task as a
-// single batch. Pending is bumped once per batch, before the send, so
-// quiescence detection never undercounts in-flight tuples.
+// single batch. Pending is bumped once per batch, before the send (and
+// before a spill — spilled tuples are still in flight), so quiescence
+// detection never undercounts in-flight tuples.
+//
+// On a spout collector with the overflow ring enabled, a send that would
+// block diverts the batch to the disk ring instead, and the collector
+// stays in spill mode — all subsequent batches take the ring — until the
+// drainer has delivered everything, which preserves delivery order per
+// destination (the ring is FIFO, and a blocked ring-drainer send enqueues
+// ahead of any later direct send on the same channel).
 func (c *collector) flushDest(eb *edgeBuf, i int) {
 	buf := eb.bufs[i]
 	if len(buf) == 0 {
@@ -323,7 +403,28 @@ func (c *collector) flushDest(eb *edgeBuf, i int) {
 	eb.bufs[i] = make([]*Tuple, 0, c.maxBatch)
 	c.buffered -= len(buf)
 	c.rt.pending.Add(int64(len(buf)))
-	eb.edge.tasks[i].in <- buf
+	if c.ovf != nil {
+		if c.spilling {
+			if !c.ovf.empty() {
+				if c.ovf.spill(eb.edge, i, buf) {
+					return
+				}
+			} else {
+				c.spilling = false
+			}
+		}
+		select {
+		case eb.a.tasks[i].in <- buf:
+			return
+		default:
+			if c.ovf.spill(eb.edge, i, buf) {
+				c.spilling = true
+				return
+			}
+			// Unencodable values: fall through to the blocking send.
+		}
+	}
+	eb.a.tasks[i].in <- buf
 }
 
 // flushAll drains every destination buffer, folds the local metric
@@ -376,13 +477,14 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 	}
 	rt := &runtime{
 		topo:       t,
-		tasks:      make(map[string][]*task),
+		comps:      make(map[string]*componentTasks),
 		edges:      make(map[string]map[string][]*edge),
 		fields:     make(map[string]map[string]Fields),
 		metrics:    newMetrics(t),
 		onError:    onError,
 		maxBatch:   t.maxBatch,
 		linger:     t.linger,
+		gaugeMax:   make(map[string]int),
 		spoutStop:  make(chan struct{}),
 		tickerStop: make(chan struct{}),
 	}
@@ -393,25 +495,26 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 		rt.linger = DefaultLinger
 	}
 	if t.acking {
-		rt.ak = newAcker(rt, t.ackTimeout)
+		rt.ak = newAcker(rt, t.ackTimeout, t.ackerDepth)
 	}
 	rt.tracer = t.tracer
-	seed := int64(1)
-	mkTasks := func(name string, n int, isSpout bool) {
-		ts := make([]*task, n)
-		for i := range ts {
-			ts[i] = &task{
-				component: name,
-				index:     i,
-				isSpout:   isSpout,
-				in:        make(chan []*Tuple, inputQueueDepth),
-				ctrl:      make(chan ctrlMsg, 4),
-				rng:       rand.New(rand.NewSource(seed)),
-				rt:        rt,
-			}
-			seed++
+	if t.bpHigh > 0 {
+		rt.bp = newBackpressure(rt, t.bpHigh, t.bpLow)
+	}
+	if t.overflow != "" {
+		ovf, err := openOverflow(rt, t.overflow)
+		if err != nil {
+			// The ring is an optimization; without it sends fall back to
+			// blocking, which is the engine's pre-overflow behavior.
+			onError("__overflow", err)
+		} else {
+			rt.ovf = ovf
 		}
-		rt.tasks[name] = ts
+	}
+	mkTasks := func(name string, n int, isSpout bool) {
+		ct := &componentTasks{name: name, isSpout: isSpout}
+		ct.assign.Store(newAssignment(rt.newTasks(name, n, isSpout, 0)))
+		rt.comps[name] = ct
 	}
 	for _, s := range t.spouts {
 		mkTasks(s.name, s.parallelism, true)
@@ -428,17 +531,46 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 				m = make(map[string][]*edge)
 				rt.edges[in.source] = m
 			}
-			m[in.stream] = append(m[in.stream], &edge{
-				group: in.group,
-				dest:  b.name,
-				tasks: rt.tasks[b.name],
-			})
+			e := &edge{
+				group:  in.group,
+				src:    in.source,
+				stream: in.stream,
+				id:     len(rt.edgeList),
+				dest:   rt.comps[b.name],
+			}
+			m[in.stream] = append(m[in.stream], e)
+			rt.edgeList = append(rt.edgeList, e)
 		}
 	}
 	if t.registry != nil {
 		rt.registerObservability(t.registry)
 	}
 	return rt
+}
+
+// newTasks allocates n fresh task structs for a component, numbered from
+// firstIndex (always 0 today; kept explicit for clarity at call sites).
+// Each task's private rng is seeded from the runtime's seed sequence, so
+// rebalance-spawned generations keep distinct streams.
+func (rt *runtime) newTasks(name string, n int, isSpout bool, firstIndex int) []*task {
+	depth := rt.topo.queueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	ts := make([]*task, n)
+	for i := range ts {
+		ts[i] = &task{
+			component: name,
+			index:     firstIndex + i,
+			isSpout:   isSpout,
+			in:        make(chan []*Tuple, depth),
+			ctrl:      make(chan ctrlMsg, 4),
+			done:      make(chan struct{}),
+			rng:       rand.New(rand.NewSource(rt.seedSeq.Add(1))),
+			rt:        rt,
+		}
+	}
+	return ts
 }
 
 func (rt *runtime) ctx(name string, index, n int) TopologyContext {
@@ -454,6 +586,8 @@ func (rt *runtime) ctx(name string, index, n int) TopologyContext {
 // runSpoutTask drives one spout instance until exhaustion or stop.
 func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 	defer rt.spoutWG.Done()
+	rt.activeSpouts.Add(1)
+	defer rt.activeSpouts.Add(-1)
 	col := newCollector(tk, rt)
 	defer col.flushAll() // buffered emissions leave on every return path
 	sp := decl.factory()
@@ -483,6 +617,33 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 				col.anchorOK = rt.ak != nil && canAck
 			}
 		default:
+			if rt.paused.Load() {
+				// A rebalance is draining the topology: flush everything,
+				// report this spout parked, and idle until resumed. The
+				// loop re-enters the select each iteration so stop and
+				// restart signals are still honored while parked.
+				col.flushAll()
+				rt.pausedSpouts.Add(1)
+				for rt.paused.Load() {
+					select {
+					case <-rt.spoutStop:
+						rt.pausedSpouts.Add(-1)
+						return
+					default:
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+				rt.pausedSpouts.Add(-1)
+				continue
+			}
+			if rt.bp != nil && rt.bp.shouldPause() {
+				// Downstream queues are over the high-water mark: stop
+				// polling for new input until they drain to the low-water
+				// mark. Flushing first keeps already-emitted tuples moving.
+				col.flushAll()
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
 			if col.anchorOK {
 				// Deliver resolved roots before polling, so a spout that
 				// replays failed messages sees the failure promptly and a
@@ -631,7 +792,7 @@ func (rt *runtime) restartBolt(decl *boltDecl, tk *task, col *collector, b Bolt)
 	b.Cleanup()
 	nb := decl.factory()
 	tk.restarts.Add(1)
-	if err := nb.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+	if err := nb.Prepare(rt.ctx(decl.name, tk.index, len(rt.taskList(decl.name))), col); err != nil {
 		rt.onError(decl.name, fmt.Errorf("re-prepare: %w", err))
 		col.flushAll() // do not strand pre-crash emissions or acks
 		return nil, false
@@ -645,10 +806,11 @@ func (rt *runtime) restartBolt(decl *boltDecl, tk *task, col *collector, b Bolt)
 // when the queue momentarily empties.
 func (rt *runtime) runBoltTask(decl *boltDecl, tk *task) {
 	defer rt.taskWG.Done()
+	defer close(tk.done) // after the flushAll below: retirement waits on it
 	col := newCollector(tk, rt)
 	defer col.flushAll()
 	b := decl.factory()
-	if err := b.Prepare(rt.ctx(decl.name, tk.index, decl.parallelism), col); err != nil {
+	if err := b.Prepare(rt.ctx(decl.name, tk.index, len(rt.taskList(decl.name))), col); err != nil {
 		rt.onError(decl.name, fmt.Errorf("prepare: %w", err))
 		rt.drainInput(tk)
 		return
@@ -721,7 +883,10 @@ func (rt *runtime) runTicker(decl *boltDecl) {
 		case <-rt.tickerStop:
 			return
 		case <-tm.C:
-			for _, tk := range rt.tasks[decl.name] {
+			// tickGate excludes the rebalance task-set swap, so the task
+			// list loaded here cannot have its channels closed mid-loop.
+			rt.tickGate.RLock()
+			for _, tk := range rt.taskList(decl.name) {
 				rt.pending.Add(1)
 				select {
 				case tk.in <- batch:
@@ -732,6 +897,7 @@ func (rt *runtime) runTicker(decl *boltDecl) {
 					cm.ticksSkipped.Add(1)
 				}
 			}
+			rt.tickGate.RUnlock()
 		}
 	}
 }
@@ -750,7 +916,7 @@ func (rt *runtime) flushTicks() {
 			continue
 		}
 		batch := []*Tuple{{Component: name, Stream: TickStream, Values: Values{"final"}}}
-		for _, tk := range rt.tasks[name] {
+		for _, tk := range rt.taskList(name) {
 			rt.pending.Add(1)
 			tk.in <- batch
 		}
@@ -803,8 +969,11 @@ func (rt *runtime) start(ctx context.Context) *RunningTopology {
 	if rt.ak != nil {
 		go rt.ak.run()
 	}
+	if rt.ovf != nil {
+		go rt.ovf.run()
+	}
 	for _, b := range t.bolts {
-		for _, tk := range rt.tasks[b.name] {
+		for _, tk := range rt.taskList(b.name) {
 			rt.taskWG.Add(1)
 			go rt.runBoltTask(b, tk)
 		}
@@ -814,7 +983,7 @@ func (rt *runtime) start(ctx context.Context) *RunningTopology {
 		}
 	}
 	for _, s := range t.spouts {
-		for _, tk := range rt.tasks[s.name] {
+		for _, tk := range rt.taskList(s.name) {
 			rt.spoutWG.Add(1)
 			go rt.runSpoutTask(s, tk)
 		}
@@ -830,15 +999,23 @@ func (rt *runtime) start(ctx context.Context) *RunningTopology {
 				}
 			}()
 		}
-		rt.spoutWG.Wait()    // all spouts exhausted or stopped
-		rt.waitQuiescent()   // all regular tuples drained
+		rt.spoutWG.Wait()  // all spouts exhausted or stopped
+		rt.waitQuiescent() // all regular tuples drained (incl. spilled ones)
+		if rt.ovf != nil {
+			rt.ovf.stopDrainer() // ring is empty (pending covered it); drainer idle
+		}
 		close(rt.tickerStop) // no more interval ticks
 		rt.tickerWG.Wait()
 		rt.waitQuiescent()
+		// Block any further rebalance before tearing the task set down.
+		rt.rebalanceMu.Lock()
+		rt.closed = true
+		rt.rebalanceMu.Unlock()
 		rt.flushTicks() // cascade final combiner flushes
 		for _, name := range t.Components() {
-			if !rt.tasks[name][0].isSpout {
-				for _, tk := range rt.tasks[name] {
+			ct := rt.comps[name]
+			if !ct.isSpout {
+				for _, tk := range ct.tasks() {
 					close(tk.in)
 				}
 			}
@@ -848,9 +1025,143 @@ func (rt *runtime) start(ctx context.Context) *RunningTopology {
 			// All senders (task goroutines) are done; drain and stop.
 			rt.ak.shutdown()
 		}
+		if rt.ovf != nil {
+			rt.ovf.close()
+		}
 		close(h.done)
 	}()
 	return h
+}
+
+// Rebalance changes the live parallelism of a bolt while the topology
+// runs, the analog of Storm's `rebalance` command (§3.1 operations).
+// See runtime.rebalance for the protocol.
+func (h *RunningTopology) Rebalance(component string, parallelism int) error {
+	return h.rt.rebalance(component, parallelism)
+}
+
+// Parallelism reports the component's current live task count (which a
+// Rebalance may have changed since build time), or 0 if unknown.
+func (h *RunningTopology) Parallelism(component string) int {
+	ct, ok := h.rt.comps[component]
+	if !ok {
+		return 0
+	}
+	return len(ct.tasks())
+}
+
+// Rebalances reports how many rebalances have completed on this topology.
+func (h *RunningTopology) Rebalances() int64 { return h.rt.rebalances.Load() }
+
+// BackpressureStats reports the spout throttle's trip count and total
+// paused time. Zeros when backpressure is not enabled.
+func (h *RunningTopology) BackpressureStats() (pauses int64, paused time.Duration) {
+	if h.rt.bp == nil {
+		return 0, 0
+	}
+	return h.rt.bp.pauses.Load(), time.Duration(h.rt.bp.pausedNanos.Load())
+}
+
+// OverflowStats reports the disk ring's spill/drain batch counts. Zeros
+// when the overflow ring is not enabled.
+func (h *RunningTopology) OverflowStats() (spilled, drained int64) {
+	if h.rt.ovf == nil {
+		return 0, 0
+	}
+	return h.rt.ovf.spilledBatches.Load(), h.rt.ovf.drainedBatches.Load()
+}
+
+// rebalance retargets one bolt to n fresh tasks without losing or
+// double-processing a single in-flight tuple:
+//
+//  1. Pause every spout and wait until each has flushed its collector and
+//     parked, then wait for the topology to drain (pending == 0). By the
+//     enqueue-before-ack invariant (DESIGN.md §10), a drained topology has
+//     no tuple in any queue, any collector buffer, or any bolt's hands.
+//  2. Tick-flush the component (combiner bolts push buffered aggregates
+//     downstream on ticks) and drain again, so no in-memory aggregate
+//     state is lost when the old instances retire.
+//  3. Under the tick gate, close the old tasks' input channels, wait for
+//     each goroutine to exit (its deferred flushAll has run), fold the
+//     retired generation's metrics shards into the component accumulator,
+//     and install the new assignment. No emitter can observe the swap
+//     mid-flight: all collectors are parked with empty buffers, and
+//     edgeBuf.sync adopts the new assignment on the next emit.
+//  4. Spawn the new tasks and resume the spouts.
+//
+// Spouts cannot be rebalanced: their task count is bound to external
+// input partitioning (consumer-group offsets), not to routing.
+func (rt *runtime) rebalance(component string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("stream: rebalance %q: parallelism must be >= 1, got %d", component, n)
+	}
+	if n > NumPartitions {
+		return fmt.Errorf("stream: rebalance %q: parallelism %d exceeds the %d logical partitions", component, n, NumPartitions)
+	}
+	ct, ok := rt.comps[component]
+	if !ok {
+		return fmt.Errorf("stream: unknown component %q", component)
+	}
+	if ct.isSpout {
+		return fmt.Errorf("stream: cannot rebalance spout %q (spout parallelism is bound to input partitioning)", component)
+	}
+	var decl *boltDecl
+	for _, b := range rt.topo.bolts {
+		if b.name == component {
+			decl = b
+		}
+	}
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+	if rt.closed {
+		return fmt.Errorf("stream: topology already shut down")
+	}
+	old := ct.assign.Load()
+	if len(old.tasks) == n {
+		return nil // already at the requested parallelism
+	}
+
+	// 1. Park the spouts and drain the pipeline.
+	rt.paused.Store(true)
+	defer rt.paused.Store(false)
+	for rt.pausedSpouts.Load() < rt.activeSpouts.Load() {
+		time.Sleep(50 * time.Microsecond)
+	}
+	rt.waitQuiescent()
+
+	// 2. Flush the component's buffered aggregates downstream. A regular
+	// tick (no "final" marker) leaves combiners running; they simply emit
+	// what they hold, which the fresh instances will not have.
+	if decl != nil && decl.tick > 0 {
+		batch := []*Tuple{{Component: component, Stream: TickStream}}
+		for _, tk := range old.tasks {
+			rt.pending.Add(1)
+			tk.in <- batch
+		}
+		rt.waitQuiescent()
+	}
+
+	// 3. Retire the old generation under the tick gate.
+	rt.tickGate.Lock()
+	for _, tk := range old.tasks {
+		close(tk.in)
+	}
+	for _, tk := range old.tasks {
+		<-tk.done
+	}
+	rt.metrics.component(component).fold(n)
+	next := newAssignment(rt.newTasks(component, n, false, 0))
+	ct.assign.Store(next)
+	rt.tickGate.Unlock()
+
+	// 4. Spawn the new generation and resume.
+	for _, tk := range next.tasks {
+		rt.taskWG.Add(1)
+		go rt.runBoltTask(decl, tk)
+	}
+	rt.ensureQueueGauges(component, n)
+	rt.rebalances.Add(1)
+	return nil
 }
 
 // RunningTopology is a handle to an executing topology: it supports
@@ -879,10 +1190,11 @@ func (h *RunningTopology) Stop() {
 // state and a fresh instance from the factory takes over the same queue.
 // This reproduces the paper's fail-fast, state-free worker model (§3.1).
 func (h *RunningTopology) RestartTask(component string, index int) error {
-	tasks, ok := h.rt.tasks[component]
+	ct, ok := h.rt.comps[component]
 	if !ok {
 		return fmt.Errorf("stream: unknown component %q", component)
 	}
+	tasks := ct.tasks()
 	if index < 0 || index >= len(tasks) {
 		return fmt.Errorf("stream: component %q has no task %d", component, index)
 	}
@@ -895,9 +1207,14 @@ func (h *RunningTopology) RestartTask(component string, index int) error {
 }
 
 // Restarts reports how many times the given task has been restarted.
+// Counts reset when a rebalance replaces the component's tasks.
 func (h *RunningTopology) Restarts(component string, index int) int64 {
-	tasks, ok := h.rt.tasks[component]
-	if !ok || index < 0 || index >= len(tasks) {
+	ct, ok := h.rt.comps[component]
+	if !ok {
+		return 0
+	}
+	tasks := ct.tasks()
+	if index < 0 || index >= len(tasks) {
 		return 0
 	}
 	return tasks[index].restarts.Load()

@@ -510,13 +510,34 @@ func TestFieldsGroupingDeterministicProperty(t *testing.T) {
 	g := Grouping{Kind: FieldsGrouping, Fields: Fields{"k"}}
 	f := func(key string, n uint8) bool {
 		tasks := int(n%16) + 1
+		asn := newAssignment(make([]*task, tasks))
 		tu := &Tuple{Values: Values{key}, fields: Fields{"k"}}
-		a := g.route(tu, tasks, nil, nil)
-		b := g.route(tu, tasks, nil, nil)
+		a := g.route(tu, asn, nil, nil)
+		b := g.route(tu, asn, nil, nil)
 		return len(a) == 1 && len(b) == 1 && a[0] == b[0] && a[0] < tasks
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPartitionRoutingStableAcrossScale checks the logical-partition
+// property the rebalance design rests on: a key's partition never moves,
+// and for task counts that divide NumPartitions the round-robin
+// partition table reproduces the pre-partition hash%n routing exactly.
+func TestPartitionRoutingStableAcrossScale(t *testing.T) {
+	g := Grouping{Kind: FieldsGrouping, Fields: Fields{"k"}}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		asn := newAssignment(make([]*task, n))
+		for i := 0; i < 512; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			tu := &Tuple{Values: Values{key}, fields: Fields{"k"}}
+			got := g.route(tu, asn, nil, nil)[0]
+			want := int(hashValues(tu, g.Fields) % uint64(n))
+			if got != want {
+				t.Fatalf("n=%d key=%s routed to %d, want hash%%n=%d", n, key, got, want)
+			}
+		}
 	}
 }
 

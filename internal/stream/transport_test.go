@@ -28,7 +28,7 @@ func BenchmarkEmitRoute(b *testing.B) {
 	rt := newRuntime(topo, nil)
 
 	var wg sync.WaitGroup
-	for _, tk := range rt.tasks["sink"] {
+	for _, tk := range rt.taskList("sink") {
 		wg.Add(1)
 		go func(tk *task) {
 			defer wg.Done()
@@ -48,7 +48,7 @@ func BenchmarkEmitRoute(b *testing.B) {
 		keys[i] = "key-" + strconv.Itoa(i)
 	}
 
-	col := newCollector(rt.tasks["src"][0], rt)
+	col := newCollector(rt.taskList("src")[0], rt)
 	// Warm up: grow the route and destination buffers and seed the tuple
 	// pool, so short -benchtime smoke runs measure the steady state.
 	for i := 0; i < 4*DefaultMaxBatch; i++ {
@@ -63,7 +63,7 @@ func BenchmarkEmitRoute(b *testing.B) {
 	}
 	col.flushAll()
 	b.StopTimer()
-	for _, tk := range rt.tasks["sink"] {
+	for _, tk := range rt.taskList("sink") {
 		close(tk.in)
 	}
 	wg.Wait()
@@ -78,10 +78,10 @@ func BenchmarkEmitRoute(b *testing.B) {
 func TestTicksSkippedCounted(t *testing.T) {
 	tb := NewTopologyBuilder("t")
 	// maxBatch 1 makes every tuple its own batch, so the spout can fill
-	// the bolt's input queue (inputQueueDepth batches) outright while the
-	// bolt sleeps on each tuple.
+	// the bolt's input queue (DefaultQueueDepth batches) outright while
+	// the bolt sleeps on each tuple.
 	tb.SetMaxBatch(1)
-	tb.SetSpout("spout", func() Spout { return &rangeSpout{n: inputQueueDepth + 200} }, 1)
+	tb.SetSpout("spout", func() Spout { return &rangeSpout{n: DefaultQueueDepth + 200} }, 1)
 	tb.SetBolt("slow", func() Bolt {
 		return &BoltFunc{Fn: func(tp *Tuple, _ Collector) error {
 			if !tp.IsTick() {

@@ -165,11 +165,6 @@ func (t *Tuple) TryValue(field string) (interface{}, bool) {
 // Str returns the value of the named field as a string.
 func (t *Tuple) Str(field string) string { s, _ := t.Value(field).(string); return s }
 
-// String2 returns the value of the named field as a string.
-//
-// Deprecated: use Str.
-func (t *Tuple) String2(field string) string { return t.Str(field) }
-
 // Fields returns the field names of the tuple.
 func (t *Tuple) Fields() Fields { return t.fields }
 

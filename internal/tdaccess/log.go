@@ -239,8 +239,12 @@ func (l *plog) Read(offset int64) ([]byte, error) {
 	if offset < 0 || offset >= l.nextOffset {
 		return nil, ErrOffsetOutOfRange
 	}
-	// Find the owning segment (last one with base <= offset).
+	// Find the owning segment (last one with base <= offset). A trimmed
+	// log's first base may exceed the offset: that record is gone.
 	i := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].base > offset }) - 1
+	if i < 0 {
+		return nil, ErrOffsetOutOfRange
+	}
 	seg := l.segments[i]
 	rel := int(offset - seg.base)
 	pos := seg.index[rel]

@@ -1,0 +1,80 @@
+package tdaccess
+
+import (
+	"fmt"
+	"os"
+)
+
+// SpillLog is a segmented append-only disk ring for consumers outside
+// the broker — the stream engine's burst-overflow buffer reuses the
+// partition-log machinery through it. It is a plain FIFO byte log:
+// Append assigns dense offsets, ReadAt returns one record, and TrimTo
+// reclaims the disk behind a consumed prefix at segment granularity.
+type SpillLog struct {
+	l *plog
+}
+
+// OpenSpillLog opens (creating if necessary) a spill log in dir.
+// segmentBytes <= 0 uses the default segment size.
+func OpenSpillLog(dir string, segmentBytes int64) (*SpillLog, error) {
+	l, err := openLog(dir, segmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &SpillLog{l: l}, nil
+}
+
+// Append writes one record and returns its offset.
+func (s *SpillLog) Append(body []byte) (int64, error) { return s.l.Append(body) }
+
+// ReadAt returns the record at the given offset.
+func (s *SpillLog) ReadAt(offset int64) ([]byte, error) { return s.l.Read(offset) }
+
+// NextOffset returns the offset the next Append will receive.
+func (s *SpillLog) NextOffset() int64 { return s.l.NextOffset() }
+
+// SegmentCount returns the number of on-disk segments.
+func (s *SpillLog) SegmentCount() int { return s.l.SegmentCount() }
+
+// TrimTo reclaims disk space behind offset: every whole segment whose
+// records all precede offset is deleted. The active segment always
+// survives, so reads at and after offset — and all future appends —
+// are unaffected. Trimming is at segment granularity; records between
+// the last deleted segment and offset remain on disk until their
+// segment's turn comes.
+func (s *SpillLog) TrimTo(offset int64) error { return s.l.TrimTo(offset) }
+
+// Close flushes and closes the log's files.
+func (s *SpillLog) Close() error { return s.l.Close() }
+
+// TrimTo deletes whole segments whose every record precedes offset,
+// keeping at least the active segment. See SpillLog.TrimTo.
+func (l *plog) TrimTo(offset int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cut := 0
+	for cut < len(l.segments)-1 {
+		seg := l.segments[cut]
+		if seg.base+int64(len(seg.index)) > offset {
+			break
+		}
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	var first error
+	for _, seg := range l.segments[:cut] {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(seg.path); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.segments = append(l.segments[:0], l.segments[cut:]...)
+	if first != nil {
+		return fmt.Errorf("tdaccess: trim: %w", first)
+	}
+	return nil
+}

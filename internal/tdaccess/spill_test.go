@@ -1,0 +1,110 @@
+package tdaccess
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSpillLogAppendReadFIFO(t *testing.T) {
+	s, err := OpenSpillLog(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		off, err := s.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i) {
+			t.Fatalf("append %d got offset %d", i, off)
+		}
+	}
+	if got := s.NextOffset(); got != n {
+		t.Fatalf("NextOffset = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		b, err := s.ReadAt(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("record-%d", i); string(b) != want {
+			t.Fatalf("offset %d = %q, want %q", i, b, want)
+		}
+	}
+	if _, err := s.ReadAt(n); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("read past end: err = %v, want ErrOffsetOutOfRange", err)
+	}
+}
+
+func TestSpillLogTrimReclaimsSegments(t *testing.T) {
+	// Tiny segments so a few appends force rotations.
+	s, err := OpenSpillLog(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.SegmentCount()
+	if before < 3 {
+		t.Fatalf("only %d segments; rotation never happened", before)
+	}
+	if err := s.TrimTo(int64(n / 2)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.SegmentCount()
+	if after >= before {
+		t.Fatalf("trim kept all %d segments (was %d)", after, before)
+	}
+	// Everything at and after the trim point must survive…
+	for i := n / 2; i < n; i++ {
+		b, err := s.ReadAt(int64(i))
+		if err != nil {
+			t.Fatalf("post-trim read %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("rec-%04d", i); string(b) != want {
+			t.Fatalf("post-trim offset %d = %q, want %q", i, b, want)
+		}
+	}
+	// …and a record in a deleted segment reads as out of range.
+	if _, err := s.ReadAt(0); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("read of trimmed offset: err = %v, want ErrOffsetOutOfRange", err)
+	}
+	// The log still appends after a trim.
+	off, err := s.Append([]byte("post-trim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != n {
+		t.Fatalf("post-trim append offset = %d, want %d", off, n)
+	}
+}
+
+func TestSpillLogTrimKeepsActiveSegment(t *testing.T) {
+	s, err := OpenSpillLog(t.TempDir(), 0) // default size: one segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.TrimTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SegmentCount(); got != 1 {
+		t.Fatalf("trim removed the active segment (count %d)", got)
+	}
+	if _, err := s.Append([]byte("y")); err != nil {
+		t.Fatalf("append after full trim: %v", err)
+	}
+}

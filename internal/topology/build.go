@@ -71,6 +71,10 @@ type Builder struct {
 	feats      Features
 	acking     bool
 	ackTimeout time.Duration
+	queueDepth int
+	bpHigh     int
+	bpLow      int
+	overflow   string
 	registry   *obsv.Registry
 	tracer     *obsv.Tracer
 }
@@ -116,6 +120,29 @@ func (b *Builder) WithObservability(r *obsv.Registry, tr *obsv.Tracer) *Builder 
 	return b
 }
 
+// WithQueueDepth overrides the per-task input queue capacity, in
+// batches (stream.DefaultQueueDepth). Ignored when depth <= 0.
+func (b *Builder) WithQueueDepth(depth int) *Builder {
+	b.queueDepth = depth
+	return b
+}
+
+// WithBackpressure enables the credit-based spout throttle: spouts stop
+// polling for input when aggregate bolt queue depth (in batches) crosses
+// high and resume at low. Requires 0 < low < high; ignored when high <= 0.
+func (b *Builder) WithBackpressure(high, low int) *Builder {
+	b.bpHigh, b.bpLow = high, low
+	return b
+}
+
+// WithOverflow enables the disk-backed overflow ring under dir: spout
+// emissions that would block on a full queue spill to disk and are
+// replayed in order as the queues drain. Ignored when dir is empty.
+func (b *Builder) WithOverflow(dir string) *Builder {
+	b.overflow = dir
+	return b
+}
+
 // WithAcking enables at-least-once delivery for the topology: anchored
 // spout emissions are lineage-tracked by the engine's acker and replayed
 // on failure (DESIGN.md §11). timeout is the per-message ack deadline;
@@ -146,6 +173,15 @@ func (b *Builder) Build() (*stream.Topology, error) {
 	}
 	if b.tracer != nil {
 		tb.SetTracer(b.tracer)
+	}
+	if b.queueDepth > 0 {
+		tb.SetQueueDepth(b.queueDepth)
+	}
+	if b.bpHigh > 0 {
+		tb.SetBackpressure(b.bpHigh, b.bpLow)
+	}
+	if b.overflow != "" {
+		tb.SetOverflow(b.overflow)
 	}
 
 	tb.SetSpout(UnitSpout, b.spout, b.par.get(b.par.Spout))

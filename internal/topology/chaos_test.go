@@ -13,11 +13,12 @@ import (
 
 // TestChaosSoakAtLeastOnce is the delivery-guarantee soak: the full CF
 // topology runs over a real TDAccess broker and TDStore cluster while a
-// chaos goroutine restarts tasks of every component and injects broker
-// and store faults. With acking on, offset-anchored replay plus the
-// Pretreatment dedup guard must leave the item counts EXACTLY equal to
-// the sequential library's — zero lost actions, zero double counts —
-// and the topology must still quiesce on its own.
+// chaos goroutine restarts tasks of every component, rebalances bolt
+// parallelism live, and injects broker and store faults. With acking on,
+// offset-anchored replay plus the Pretreatment dedup guard must leave
+// the item counts EXACTLY equal to the sequential library's — zero lost
+// actions, zero double counts — and the topology must still quiesce on
+// its own.
 //
 // Fault orchestration rules (what keeps replay loss-free, DESIGN.md §11):
 //   - the combiner is disabled so an ack implies the delta is durable;
@@ -99,6 +100,17 @@ func TestChaosSoakAtLeastOnce(t *testing.T) {
 			restart(UnitPairCount, round%2)
 			restart(UnitResultStorage, round%2)
 			restart(UnitDB, 0)
+			pause()
+
+			// Live rebalances mid-chaos: the elastic data plane must keep
+			// the exactness guarantee through task-set swaps too. Errors
+			// only mean the topology already quiesced.
+			if err := h.Rebalance(UnitUserHistory, 2+round%2); err != nil {
+				t.Logf("rebalance %s: %v", UnitUserHistory, err)
+			}
+			if err := h.Rebalance(UnitItemCount, 1+(round+1)%3); err != nil {
+				t.Logf("rebalance %s: %v", UnitItemCount, err)
+			}
 			pause()
 
 			// Broker data-server blip: spout polls error and back off

@@ -16,6 +16,9 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+echo "== go test -race elastic parallelism (rebalance, backpressure, overflow, restart stress)"
+go test -race -run 'TestRebalance|TestBurst|TestBackpressure|TestOverflow|TestStressFieldsGroupingUnderRestarts' ./internal/stream/
+
 echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, obsv)"
 go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/obsv/
 

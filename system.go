@@ -67,6 +67,20 @@ type SystemConfig struct {
 	// default (one per 1024); negative disables tracing entirely.
 	// Metrics are always on — only tracing is rate-controlled.
 	TraceEvery int
+	// QueueDepth overrides the per-task input queue capacity, in batches
+	// (stream.DefaultQueueDepth). 0 keeps the default.
+	QueueDepth int
+	// BackpressureHigh and BackpressureLow enable the credit-based spout
+	// throttle: spouts stop polling for input when the aggregate bolt
+	// queue depth (in batches) crosses High and resume at Low. Both zero
+	// (the default) disables the throttle; enabling requires
+	// 0 < Low < High.
+	BackpressureHigh, BackpressureLow int
+	// OverflowSpill enables the disk-backed overflow ring under
+	// DataDir/overflow: spout emissions that would block on a full queue
+	// spill to a segment log instead and replay in order as queues drain,
+	// so bursts cost disk rather than memory or ingest stalls.
+	OverflowSpill bool
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -155,11 +169,16 @@ func Open(cfg SystemConfig) (*System, error) {
 		Topic:  c.Topic,
 		Group:  "tencentrec",
 	})
-	topo, err := topology.NewBuilder("tencentrec", spout, client, c.Params).
+	tb := topology.NewBuilder("tencentrec", spout, client, c.Params).
 		WithFeatures(c.Features).
 		WithParallelism(c.Parallelism).
 		WithObservability(registry, tracer).
-		Build()
+		WithQueueDepth(c.QueueDepth).
+		WithBackpressure(c.BackpressureHigh, c.BackpressureLow)
+	if c.OverflowSpill {
+		tb = tb.WithOverflow(filepath.Join(c.DataDir, "overflow"))
+	}
+	topo, err := tb.Build()
 	if err != nil {
 		broker.Close()
 		cluster.Close()
@@ -293,6 +312,19 @@ func (s *System) KillStoreServer(id string) error { return s.cluster.KillDataSer
 // recovery). For fault-tolerance demonstrations.
 func (s *System) RestartTask(component string, index int) error {
 	return s.running.RestartTask(component, index)
+}
+
+// Rebalance changes the live parallelism of one bolt without stopping
+// the pipeline or losing in-flight tuples — the Storm `rebalance`
+// operation (§3.1). Spouts cannot be rebalanced.
+func (s *System) Rebalance(component string, parallelism int) error {
+	return s.running.Rebalance(component, parallelism)
+}
+
+// Parallelism reports a component's current live task count, which a
+// Rebalance may have changed since Open. 0 for unknown components.
+func (s *System) Parallelism(component string) int {
+	return s.running.Parallelism(component)
 }
 
 // Close stops the topology and releases the broker and store.
