@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -301,6 +302,115 @@ func BenchmarkHTTPRecommend(b *testing.B) {
 		}
 	}
 }
+
+// newMixSystem opens a System populated with enough users and items for
+// a realistic read mix. tier toggles the serving tier for ablation.
+func newMixSystem(b *testing.B, tier bool) *tencentrec.System {
+	b.Helper()
+	sys, err := tencentrec.Open(tencentrec.SystemConfig{
+		DataDir:            b.TempDir(),
+		Params:             tencentrec.Params{FlushInterval: 20 * time.Millisecond},
+		DisableServingTier: !tier,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		u := rng.Intn(50)
+		item := fmt.Sprintf("i%d", (u%5)*8+rng.Intn(8))
+		ts := benchStart.Add(time.Duration(i) * time.Second)
+		sys.Publish(tencentrec.RawAction{
+			User: fmt.Sprintf("u%d", u), Item: item, Action: "click", TS: ts.UnixNano(),
+		})
+	}
+	if err := sys.Drain(30 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkHTTPServingMix drives a concurrent Zipf-skewed read mix
+// (60% /recommend, 30% /similar, 10% /hot) through the front end
+// in-process, with the serving tier on and off. It reports QPS, latency
+// quantiles and the ablation counters behind the tier's claim: store
+// gets per request collapse when the hot head is cached and coalesced.
+func BenchmarkHTTPServingMix(b *testing.B) {
+	for _, tier := range []bool{true, false} {
+		name := "tier=on"
+		if !tier {
+			name = "tier=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys := newMixSystem(b, tier)
+			handler := sys.Handler()
+			reg := sys.Registry()
+			storeGets := func() int64 {
+				s := reg.Histogram("tdstore_op_seconds", "", "op", "get").Snapshot()
+				s.Merge(reg.Histogram("tdstore_op_seconds", "", "op", "batch_get").Snapshot())
+				s.Merge(reg.Histogram("tdstore_op_seconds", "", "op", "replica_batch_get").Snapshot())
+				return s.Count
+			}
+			lat := obsv.NewHistogram()
+			gets0 := storeGets()
+			var seed int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(100 + atomicAdd(&seed)))
+				userZ := rand.NewZipf(rng, 1.2, 1, 49)
+				itemZ := rand.NewZipf(rng, 1.2, 1, 39)
+				// Requests are pre-built from the Zipf draw and cycled, so
+				// the loop measures the serving path rather than URL
+				// parsing and request construction (which dominate
+				// otherwise and hit both configurations identically).
+				const pool = 1024
+				reqs := make([]*http.Request, pool)
+				for i := range reqs {
+					var url string
+					switch p := rng.Float64(); {
+					case p < 0.6:
+						url = fmt.Sprintf("/recommend?user=u%d&n=10", userZ.Uint64())
+					case p < 0.9:
+						url = fmt.Sprintf("/similar?item=i%d&n=10", itemZ.Uint64())
+					default:
+						url = fmt.Sprintf("/hot?user=u%d&n=10", userZ.Uint64())
+					}
+					reqs[i] = httptest.NewRequest("GET", url, nil)
+				}
+				for i := 0; pb.Next(); i++ {
+					req := reqs[i%pool]
+					w := httptest.NewRecorder()
+					t0 := obsv.Now()
+					handler.ServeHTTP(w, req)
+					lat.Observe(obsv.Now() - t0)
+					if w.Code != http.StatusOK {
+						b.Errorf("GET %s = %d", req.URL, w.Code)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			s := lat.Snapshot()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			b.ReportMetric(float64(s.Quantile(0.50))/1e6, "p50_ms")
+			b.ReportMetric(float64(s.Quantile(0.99))/1e6, "p99_ms")
+			b.ReportMetric(float64(storeGets()-gets0)/float64(b.N), "store_gets/req")
+			if tier {
+				hits := reg.Counter("serving_cache_hits_total", "").Value()
+				misses := reg.Counter("serving_cache_misses_total", "").Value()
+				if hits+misses > 0 {
+					b.ReportMetric(float64(hits)/float64(hits+misses), "cache_hit_rate")
+				}
+				b.ReportMetric(float64(reg.Counter("serving_coalesced_total", "").Value())/float64(b.N), "coalesced/req")
+			}
+		})
+	}
+}
+
+// atomicAdd is a tiny helper giving each RunParallel goroutine a
+// distinct deterministic seed.
+func atomicAdd(p *int64) int64 { return atomic.AddInt64(p, 1) }
 
 // BenchmarkHTTPMetricsPrometheus measures the cost of one full
 // Prometheus exposition over every registered family.

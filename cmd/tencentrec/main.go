@@ -57,6 +57,11 @@ func main() {
 	bpHigh := flag.Int("bp-high", 0, "backpressure high-water mark in queued batches (0 = throttle off)")
 	bpLow := flag.Int("bp-low", 0, "backpressure low-water mark (required with -bp-high; 0 < low < high)")
 	overflowSpill := flag.Bool("overflow", false, "spill bursts to a disk ring under the data dir instead of stalling ingest")
+	noServing := flag.Bool("no-serving-tier", false, "read TDStore directly on every query, bypassing the serving tier (cache, coalescing, hedged reads)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "serving-tier result cache TTL (0 = default, negative = cache off)")
+	cacheSize := flag.Int("cache-size", 0, "serving-tier result cache capacity in entries (0 = default, negative = cache off)")
+	negTTL := flag.Duration("neg-ttl", 0, "serving-tier negative-cache TTL for absent keys (0 = default)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "delay before hedging a store read to a replica (0 = track live p95, negative = hedging off)")
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "tencentrec: -data is required")
@@ -75,6 +80,12 @@ func main() {
 		BackpressureHigh: *bpHigh,
 		BackpressureLow:  *bpLow,
 		OverflowSpill:    *overflowSpill,
+
+		DisableServingTier: *noServing,
+		ServingCacheTTL:    *cacheTTL,
+		ServingCacheSize:   *cacheSize,
+		ServingNegativeTTL: *negTTL,
+		ServingHedgeDelay:  *hedgeDelay,
 	})
 	if err != nil {
 		log.Fatalf("open system: %v", err)

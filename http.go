@@ -2,6 +2,7 @@ package tencentrec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -9,7 +10,34 @@ import (
 	"time"
 
 	"tencentrec/internal/obsv"
+	"tencentrec/internal/stream"
 )
+
+// maxBodyBytes caps ingestion and control payloads. A single action or
+// item easily fits; the cap keeps a misbehaving client from making the
+// server buffer an unbounded request body.
+const maxBodyBytes = 1 << 20
+
+// maxListN caps the n query parameter of list endpoints, bounding the
+// work and response size one request can demand.
+const maxListN = 1000
+
+// decodeBody decodes a size-capped JSON request body into v, answering
+// 413 when the cap is exceeded and 400 on malformed JSON. Reports
+// whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
 
 // Handler returns the recommender front end of Fig. 9 as an
 // http.Handler: ingestion via POST /action and /item, queries via
@@ -33,8 +61,7 @@ func (s *System) Handler() http.Handler {
 	}
 	handle("POST /action", "action", func(w http.ResponseWriter, r *http.Request) {
 		var a RawAction
-		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !decodeBody(w, r, &a) {
 			return
 		}
 		if a.TS == 0 {
@@ -52,8 +79,7 @@ func (s *System) Handler() http.Handler {
 			Terms       []string `json:"terms"`
 			PublishedNS int64    `json:"published_ns"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !decodeBody(w, r, &body) {
 			return
 		}
 		if err := s.AddItem(body.ID, body.Terms, time.Unix(0, body.PublishedNS)); err != nil {
@@ -113,6 +139,7 @@ func (s *System) Handler() http.Handler {
 			body.Parallelism = v
 		}
 		if body.Component == "" || body.Parallelism == 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 				http.Error(w, "need component and parallelism, as query parameters or a JSON body", http.StatusBadRequest)
 				return
@@ -120,7 +147,7 @@ func (s *System) Handler() http.Handler {
 		}
 		if err := s.Rebalance(body.Component, body.Parallelism); err != nil {
 			status := http.StatusBadRequest
-			if strings.Contains(err.Error(), "unknown component") {
+			if errors.Is(err, stream.ErrUnknownComponent) {
 				status = http.StatusNotFound
 			}
 			http.Error(w, err.Error(), status)
@@ -188,6 +215,10 @@ func serveList(w http.ResponseWriter, r *http.Request, fn func(n int) ([]ScoredI
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
 			http.Error(w, fmt.Sprintf("query parameter n must be a positive integer, got %q", raw), http.StatusBadRequest)
+			return
+		}
+		if v > maxListN {
+			http.Error(w, fmt.Sprintf("query parameter n must be at most %d, got %d", maxListN, v), http.StatusBadRequest)
 			return
 		}
 		n = v

@@ -178,6 +178,18 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 }
 
+func TestHTTPBodyLimit(t *testing.T) {
+	_, srv := newTestServer(t)
+	// A body past the 1 MiB cap is rejected with 413, not buffered.
+	huge := `{"user":"u1","item":"` + strings.Repeat("x", 2<<20) + `","action":"click"}`
+	for _, path := range []string{"/action", "/item"} {
+		resp := postJSON(t, srv.URL+path, huge)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with %d-byte body = %s, want 413", path, len(huge), resp.Status)
+		}
+	}
+}
+
 func TestHTTPAdsEndpoint(t *testing.T) {
 	sys, srv := newTestServer(t)
 	for i := 0; i < 25; i++ {
@@ -280,6 +292,8 @@ func TestHTTPQueryValidation(t *testing.T) {
 		{"recommend with non-numeric n", "/recommend?user=u1&n=abc", http.StatusBadRequest},
 		{"recommend with negative n", "/recommend?user=u1&n=-3", http.StatusBadRequest},
 		{"similar with zero n", "/similar?item=i1&n=0", http.StatusBadRequest},
+		{"recommend with oversized n", "/recommend?user=u1&n=1001", http.StatusBadRequest},
+		{"hot at the n cap", "/hot?user=u1&n=1000", http.StatusOK},
 		{"recommend well-formed", "/recommend?user=u1&n=5", http.StatusOK},
 		{"similar well-formed", "/similar?item=i1", http.StatusOK},
 		{"hot well-formed", "/hot?user=u1&n=3", http.StatusOK},

@@ -1,0 +1,212 @@
+// Package serving is the batch-query serving tier in front of TDStore:
+// a hot-result cache for decoded top-K lists and user histories, a
+// request coalescer that merges concurrent reads into route-grouped
+// store batches with per-key singleflight, and hedged reads against
+// replicas for tail latency. The shape follows the enhanced batch query
+// architecture of Bilibili's production recommender (arXiv:2409.00400):
+// the front end of Fig. 9 answers billions of point queries a day whose
+// working set is violently skewed, so the read path pays for the store
+// only on cold keys and never more than once per key per moment.
+//
+// Consistency: the tier serves results up to the cache TTL stale and a
+// hedged read may observe a replica that has not yet applied the
+// newest replicated write. Both windows are bounded and small (the
+// pipeline itself only publishes on combiner flushes), matching the
+// paper's "accepting sub-second staleness" serving contract.
+package serving
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tencentrec/internal/obsv"
+)
+
+// cacheShards spreads the cache over independent locks so concurrent
+// front-end requests do not serialize on one mutex.
+const cacheShards = 16
+
+// Default cache geometry. TTL bounds staleness of positive entries;
+// negative entries (key known absent) expire faster so a key written
+// after a miss becomes visible quickly.
+const (
+	DefaultCacheTTL    = 500 * time.Millisecond
+	DefaultNegativeTTL = 100 * time.Millisecond
+	DefaultMaxEntries  = 65536
+)
+
+// centry is one cached decoded result. neg marks a negative entry: the
+// key was looked up and did not exist.
+type centry struct {
+	key string
+	val any
+	neg bool
+	exp int64 // obsv.Now() deadline
+}
+
+// cacheShard is one lock's worth of the cache: an LRU list (front =
+// most recent) with a key index.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List
+	cap   int
+}
+
+// Cache is a size-bounded TTL cache for decoded serving results with
+// negative caching and LRU eviction. Safe for concurrent use. Values
+// stored are shared with every subsequent hit — callers must treat them
+// as immutable.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	ttl    int64 // positive-entry TTL in ns
+	negTTL int64 // negative-entry TTL in ns
+
+	len atomic.Int64 // total live entries, maintained on insert/remove
+
+	// Instrument wires these; nil-checked on every touch.
+	hits      *obsv.Counter
+	misses    *obsv.Counter
+	negHits   *obsv.Counter
+	evictions *obsv.Counter
+}
+
+// NewCache builds a cache holding at most maxEntries decoded results
+// (0 uses DefaultMaxEntries), with the given positive and negative TTLs
+// (0 uses the defaults).
+func NewCache(ttl, negTTL time.Duration, maxEntries int) *Cache {
+	if ttl <= 0 {
+		ttl = DefaultCacheTTL
+	}
+	if negTTL <= 0 {
+		negTTL = DefaultNegativeTTL
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	perShard := maxEntries / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{ttl: int64(ttl), negTTL: int64(negTTL)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			items: make(map[string]*list.Element),
+			lru:   list.New(),
+			cap:   perShard,
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard of key with an inline FNV-1a hash
+// (allocation-free; the same construction as the store's shard pick).
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached decoded value for key. ok reports a live
+// entry; neg reports that the live entry is negative (key known
+// absent), in which case val is nil. Expired entries are removed and
+// count as misses.
+func (c *Cache) Get(key string) (val any, neg, ok bool) {
+	sh := c.shardFor(key)
+	now := obsv.Now()
+	sh.mu.Lock()
+	el, exists := sh.items[key]
+	if !exists {
+		sh.mu.Unlock()
+		inc(c.misses)
+		return nil, false, false
+	}
+	e := el.Value.(*centry)
+	if now >= e.exp {
+		sh.lru.Remove(el)
+		delete(sh.items, key)
+		sh.mu.Unlock()
+		c.len.Add(-1)
+		inc(c.misses)
+		return nil, false, false
+	}
+	sh.lru.MoveToFront(el)
+	val, neg = e.val, e.neg
+	sh.mu.Unlock()
+	if neg {
+		inc(c.negHits)
+		return nil, true, true
+	}
+	inc(c.hits)
+	return val, false, true
+}
+
+// Put stores a decoded value under key, replacing any existing entry
+// and evicting the least-recently-used entry when the shard is full.
+func (c *Cache) Put(key string, val any) {
+	c.put(key, val, false, c.ttl)
+}
+
+// PutNegative records that key does not exist, for NegativeTTL.
+func (c *Cache) PutNegative(key string) {
+	c.put(key, nil, true, c.negTTL)
+}
+
+func (c *Cache) put(key string, val any, neg bool, ttl int64) {
+	sh := c.shardFor(key)
+	exp := obsv.Now() + ttl
+	sh.mu.Lock()
+	if el, exists := sh.items[key]; exists {
+		e := el.Value.(*centry)
+		e.val, e.neg, e.exp = val, neg, exp
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	evicted := false
+	if sh.lru.Len() >= sh.cap {
+		back := sh.lru.Back()
+		if back != nil {
+			sh.lru.Remove(back)
+			delete(sh.items, back.Value.(*centry).key)
+			evicted = true
+		}
+	}
+	sh.items[key] = sh.lru.PushFront(&centry{key: key, val: val, neg: neg, exp: exp})
+	sh.mu.Unlock()
+	if evicted {
+		inc(c.evictions)
+	} else {
+		c.len.Add(1)
+	}
+}
+
+// Invalidate drops every cached entry. System.Drain calls it so the
+// "drain, then query" contract of tests and batch loads observes fresh
+// state regardless of TTLs.
+func (c *Cache) Invalidate() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.len.Add(int64(-sh.lru.Len()))
+		sh.items = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}
+
+// Len reports the number of live entries (including not-yet-reaped
+// expired ones).
+func (c *Cache) Len() int { return int(c.len.Load()) }
+
+// inc bumps a counter when instrumented.
+func inc(c *obsv.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

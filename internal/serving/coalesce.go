@@ -1,0 +1,288 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tencentrec/internal/obsv"
+)
+
+// Store is the read side of the backing store. tdstore.Client and
+// topology's MemState both satisfy it.
+type Store interface {
+	// BatchGet returns the values for keys in one round trip;
+	// found[i] reports whether keys[i] exists.
+	BatchGet(keys []string) (values [][]byte, found []bool, err error)
+}
+
+// ReplicaStore serves reads from replica copies, for hedging.
+// tdstore.Client satisfies it.
+type ReplicaStore interface {
+	ReplicaBatchGet(keys []string) (values [][]byte, found []bool, err error)
+}
+
+// maxDispatchBatch bounds how many coalesced keys one store BatchGet
+// carries; a deeper queue is drained across consecutive batches.
+const maxDispatchBatch = 512
+
+// Hedging defaults. The delay falls back to DefaultHedgeDelay until the
+// delay source has data, never drops under MinHedgeDelay (an in-process
+// store reports microsecond p95s that would hedge every read), and the
+// guard caps hedges at DefaultHedgeMaxPct percent of dispatched batches
+// so a slow store cannot double the cluster's read load.
+const (
+	DefaultHedgeDelay  = time.Millisecond
+	MinHedgeDelay      = 100 * time.Microsecond
+	DefaultHedgeMaxPct = 10
+)
+
+// call is one in-flight key fetch. Every concurrent requester of the
+// key waits on done; the dispatcher fills the result exactly once
+// before closing it.
+type call struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
+	err  error
+}
+
+// Coalescer merges concurrent point reads into batched store calls.
+// Concurrent requests for the same key share one fetch (singleflight);
+// requests for different keys arriving while a batch is in flight are
+// queued and dispatched together in the next batch, so N concurrent
+// front-end reads cost one or two store round trips instead of N. The
+// first request of an idle coalescer dispatches immediately — there is
+// no linger timer to pay on an unloaded system; batching emerges from
+// concurrency alone.
+type Coalescer struct {
+	store   Store
+	replica ReplicaStore // nil disables hedging
+
+	hedgeDelay   time.Duration        // fixed delay; 0 = consult delayFn
+	hedgeDelayFn func() time.Duration // live delay source (e.g. store read p95)
+	hedgeMaxPct  int64
+
+	mu          sync.Mutex
+	flight      map[string]*call
+	queue       []string
+	dispatching bool
+
+	dispatches atomic.Int64 // batches sent to the store
+	hedged     atomic.Int64 // batches that armed a replica read
+
+	// Instrument wires these; all nil-safe.
+	coalesced  *obsv.Counter // requests that joined an existing flight
+	batches    *obsv.Counter
+	batchKeys  *obsv.Counter
+	hedges     *obsv.Counter
+	hedgeWins  *obsv.Counter
+	queueDepth *obsv.Gauge
+}
+
+// NewCoalescer builds a coalescer over store. replica enables hedged
+// reads (nil disables them); hedgeDelay fixes the hedge trigger, or 0
+// derives it per batch from delayFn (falling back to DefaultHedgeDelay
+// while delayFn has no data). maxPct caps hedged batches as a
+// percentage of all dispatched batches (0 uses DefaultHedgeMaxPct).
+func NewCoalescer(store Store, replica ReplicaStore, hedgeDelay time.Duration, delayFn func() time.Duration, maxPct int) *Coalescer {
+	if maxPct <= 0 {
+		maxPct = DefaultHedgeMaxPct
+	}
+	return &Coalescer{
+		store:        store,
+		replica:      replica,
+		hedgeDelay:   hedgeDelay,
+		hedgeDelayFn: delayFn,
+		hedgeMaxPct:  int64(maxPct),
+		flight:       make(map[string]*call),
+	}
+}
+
+// Get fetches one key through the coalescer.
+func (c *Coalescer) Get(key string) ([]byte, bool, error) {
+	cl := c.enqueue(key)
+	<-cl.done
+	return cl.val, cl.ok, cl.err
+}
+
+// GetBatch fetches keys through the coalescer, sharing flights with any
+// concurrent request for the same keys.
+func (c *Coalescer) GetBatch(keys []string) ([][]byte, []bool, error) {
+	calls := make([]*call, len(keys))
+	for i, k := range keys {
+		calls[i] = c.enqueue(k)
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	for i, cl := range calls {
+		<-cl.done
+		if cl.err != nil {
+			return nil, nil, cl.err
+		}
+		vals[i], found[i] = cl.val, cl.ok
+	}
+	return vals, found, nil
+}
+
+// enqueue joins the in-flight call for key or creates one and queues it
+// for the dispatcher, starting a dispatcher if none is running.
+func (c *Coalescer) enqueue(key string) *call {
+	c.mu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		inc(c.coalesced)
+		return cl
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.queue = append(c.queue, key)
+	if c.queueDepth != nil {
+		c.queueDepth.Set(int64(len(c.queue)))
+	}
+	start := !c.dispatching
+	if start {
+		c.dispatching = true
+	}
+	c.mu.Unlock()
+	if start {
+		go c.dispatchLoop()
+	}
+	return cl
+}
+
+// dispatchLoop drains the queue in store batches until it is empty,
+// then exits; the next enqueue on an idle coalescer starts a new one.
+func (c *Coalescer) dispatchLoop() {
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.dispatching = false
+			c.mu.Unlock()
+			return
+		}
+		n := len(c.queue)
+		if n > maxDispatchBatch {
+			n = maxDispatchBatch
+		}
+		keys := make([]string, n)
+		copy(keys, c.queue)
+		rest := copy(c.queue, c.queue[n:])
+		c.queue = c.queue[:rest]
+		if c.queueDepth != nil {
+			c.queueDepth.Set(int64(rest))
+		}
+		calls := make([]*call, n)
+		for i, k := range keys {
+			calls[i] = c.flight[k]
+		}
+		c.mu.Unlock()
+
+		inc(c.batches)
+		if c.batchKeys != nil {
+			c.batchKeys.Add(int64(n))
+		}
+		vals, found, err := c.fetch(keys)
+
+		// Retire the flights before delivering: once done closes, a new
+		// request for the key must start a fresh fetch, never read a
+		// completed one.
+		c.mu.Lock()
+		for _, k := range keys {
+			delete(c.flight, k)
+		}
+		c.mu.Unlock()
+		for i, cl := range calls {
+			if err != nil {
+				cl.err = err
+			} else {
+				cl.val, cl.ok = vals[i], found[i]
+			}
+			close(cl.done)
+		}
+	}
+}
+
+// fetchRes is one completed primary or hedge attempt.
+type fetchRes struct {
+	vals   [][]byte
+	found  []bool
+	err    error
+	hedged bool
+}
+
+// fetch runs one store batch, hedging it against a replica when the
+// primary exceeds the hedge delay and the hedge budget allows. The
+// first response wins; the loser's result is discarded (each attempt
+// fills its own slices, so a late loser cannot corrupt the delivered
+// result). When both attempts run and the winner errored, the second
+// response is awaited as a fallback.
+func (c *Coalescer) fetch(keys []string) ([][]byte, []bool, error) {
+	c.dispatches.Add(1)
+	if c.replica == nil {
+		return c.store.BatchGet(keys)
+	}
+	delay := c.currentHedgeDelay()
+	if delay <= 0 {
+		return c.store.BatchGet(keys)
+	}
+
+	ch := make(chan fetchRes, 2) // buffered: the loser must never block
+	go func() {
+		v, f, err := c.store.BatchGet(keys)
+		ch <- fetchRes{v, f, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	inflight := 1
+	var r fetchRes
+	select {
+	case r = <-ch:
+		timer.Stop()
+	case <-timer.C:
+		if c.allowHedge() {
+			c.hedged.Add(1)
+			inc(c.hedges)
+			inflight++
+			go func() {
+				v, f, err := c.replica.ReplicaBatchGet(keys)
+				ch <- fetchRes{v, f, err, true}
+			}()
+		}
+		r = <-ch
+		inflight--
+		// A winner that errored is not an answer; fall back to the
+		// other attempt if one is still running.
+		if r.err != nil && inflight > 0 {
+			r = <-ch
+			inflight--
+		}
+		if r.hedged && r.err == nil {
+			inc(c.hedgeWins)
+		}
+	}
+	return r.vals, r.found, r.err
+}
+
+// currentHedgeDelay resolves the hedge trigger for one batch: the fixed
+// configured delay, else the live delay source clamped to
+// [MinHedgeDelay, ∞), else DefaultHedgeDelay.
+func (c *Coalescer) currentHedgeDelay() time.Duration {
+	if c.hedgeDelay != 0 {
+		return c.hedgeDelay
+	}
+	if c.hedgeDelayFn != nil {
+		if d := c.hedgeDelayFn(); d > 0 {
+			if d < MinHedgeDelay {
+				d = MinHedgeDelay
+			}
+			return d
+		}
+	}
+	return DefaultHedgeDelay
+}
+
+// allowHedge is the hedge-rate guard: hedged batches may not exceed
+// hedgeMaxPct percent of all dispatched batches.
+func (c *Coalescer) allowHedge() bool {
+	return c.hedged.Load()*100 < c.dispatches.Load()*c.hedgeMaxPct
+}

@@ -1,0 +1,390 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeStore is a Store over a fixed map that counts per-key fetches and
+// can be gated (every BatchGet blocks until Release) or delayed.
+type fakeStore struct {
+	mu     sync.Mutex
+	data   map[string][]byte
+	counts map[string]int
+	calls  atomic.Int64
+	gate   chan struct{} // non-nil: BatchGet blocks until closed
+	delay  time.Duration
+	err    error
+}
+
+func newFakeStore(data map[string][]byte) *fakeStore {
+	return &fakeStore{data: data, counts: make(map[string]int)}
+}
+
+func (s *fakeStore) BatchGet(keys []string) ([][]byte, []bool, error) {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	s.mu.Lock()
+	for i, k := range keys {
+		s.counts[k]++
+		vals[i], found[i] = s.data[k], s.data[k] != nil
+	}
+	s.mu.Unlock()
+	return vals, found, nil
+}
+
+func (s *fakeStore) fetches(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[key]
+}
+
+func (s *fakeStore) put(key string, val []byte) {
+	s.mu.Lock()
+	s.data[key] = val
+	s.mu.Unlock()
+}
+
+// fakeReplica is a ReplicaStore with its own data and call count.
+type fakeReplica struct {
+	data  map[string][]byte
+	calls atomic.Int64
+	delay time.Duration
+}
+
+func (r *fakeReplica) ReplicaBatchGet(keys []string) ([][]byte, []bool, error) {
+	r.calls.Add(1)
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], found[i] = r.data[k], r.data[k] != nil
+	}
+	return vals, found, nil
+}
+
+func decodeString(b []byte) (any, error) { return string(b), nil }
+
+// TestSingleflight: N concurrent readers of one cold key must cost
+// exactly one store fetch for that key.
+func TestSingleflight(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"k": []byte("v")})
+	st.gate = make(chan struct{})
+	rd := NewReader(st, Config{CacheTTL: -1}) // cache off: isolate the coalescer
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, ok, err := rd.Get("k", decodeString)
+			if err != nil || !ok {
+				t.Errorf("reader %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			results[i] = v.(string)
+		}(i)
+	}
+	// Let the readers pile onto the flight, then open the store.
+	time.Sleep(20 * time.Millisecond)
+	close(st.gate)
+	wg.Wait()
+
+	if got := st.fetches("k"); got != 1 {
+		t.Fatalf("key fetched %d times, want exactly 1", got)
+	}
+	for i, r := range results {
+		if r != "v" {
+			t.Fatalf("reader %d got %q", i, r)
+		}
+	}
+}
+
+// TestCoalescedBatching: concurrent reads of distinct keys while a batch
+// is in flight are merged into following batches, not one store call
+// per key.
+func TestCoalescedBatching(t *testing.T) {
+	data := make(map[string][]byte)
+	for i := 0; i < 64; i++ {
+		data[fmt.Sprintf("k%02d", i)] = []byte("v")
+	}
+	st := newFakeStore(data)
+	st.delay = 2 * time.Millisecond
+	rd := NewReader(st, Config{CacheTTL: -1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, ok, err := rd.Get(fmt.Sprintf("k%02d", i), decodeString); !ok || err != nil {
+				t.Errorf("k%02d: ok=%v err=%v", i, ok, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls := st.calls.Load(); calls >= 64 {
+		t.Fatalf("64 concurrent distinct reads cost %d store calls, want coalesced batches", calls)
+	}
+}
+
+// TestCacheTTLExpiry: a cached value is served without the store until
+// the TTL elapses, then re-fetched.
+func TestCacheTTLExpiry(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"k": []byte("v1")})
+	rd := NewReader(st, Config{CacheTTL: 30 * time.Millisecond})
+
+	if v, ok, _ := rd.Get("k", decodeString); !ok || v.(string) != "v1" {
+		t.Fatalf("first read: %v %v", v, ok)
+	}
+	st.put("k", []byte("v2"))
+	if v, _, _ := rd.Get("k", decodeString); v.(string) != "v1" {
+		t.Fatalf("within TTL: got %v, want cached v1", v)
+	}
+	if got := st.fetches("k"); got != 1 {
+		t.Fatalf("store fetched %d times within TTL, want 1", got)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if v, _, _ := rd.Get("k", decodeString); v.(string) != "v2" {
+		t.Fatalf("past TTL: got %v, want fresh v2", v)
+	}
+	if got := st.fetches("k"); got != 2 {
+		t.Fatalf("store fetched %d times past TTL, want 2", got)
+	}
+}
+
+// TestNegativeCache: a missing key is answered from the negative cache
+// within NegativeTTL, and a key written afterwards becomes visible once
+// the negative entry expires.
+func TestNegativeCache(t *testing.T) {
+	st := newFakeStore(map[string][]byte{})
+	rd := NewReader(st, Config{NegativeTTL: 30 * time.Millisecond})
+
+	if _, ok, _ := rd.Get("k", decodeString); ok {
+		t.Fatal("missing key reported found")
+	}
+	if _, ok, _ := rd.Get("k", decodeString); ok {
+		t.Fatal("negative hit reported found")
+	}
+	if got := st.fetches("k"); got != 1 {
+		t.Fatalf("store consulted %d times within NegativeTTL, want 1", got)
+	}
+	st.put("k", []byte("v"))
+	time.Sleep(40 * time.Millisecond)
+	v, ok, err := rd.Get("k", decodeString)
+	if err != nil || !ok || v.(string) != "v" {
+		t.Fatalf("new key masked past NegativeTTL: v=%v ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestInvalidate: Invalidate makes the next read observe fresh state
+// regardless of TTL — the Drain contract.
+func TestInvalidate(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"k": []byte("v1")})
+	rd := NewReader(st, Config{CacheTTL: time.Hour})
+	rd.Get("k", decodeString)
+	st.put("k", []byte("v2"))
+	rd.Invalidate()
+	if v, _, _ := rd.Get("k", decodeString); v.(string) != "v2" {
+		t.Fatalf("post-invalidate read got %v, want v2", v)
+	}
+}
+
+// TestLRUBound: the cache never holds more entries than its capacity;
+// evictions make room rather than growing.
+func TestLRUBound(t *testing.T) {
+	c := NewCache(time.Hour, time.Hour, cacheShards*4)
+	for i := 0; i < cacheShards*32; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n > cacheShards*4 {
+		t.Fatalf("cache holds %d entries, cap %d", n, cacheShards*4)
+	}
+}
+
+// TestLRUEvictionOrder: within a shard the least-recently-used entry
+// goes first.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewCache(time.Hour, time.Hour, cacheShards) // one entry per shard
+	sh := c.shardFor("a")
+	sh.cap = 2
+	// Find three keys in the same shard.
+	keys := []string{}
+	for i := 0; len(keys) < 3 && i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Get(keys[0]) // refresh 0; 1 is now LRU
+	c.Put(keys[2], 2)
+	if _, _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+}
+
+// TestGetBatchMixed: a batch over cached, cold and absent keys serves
+// hits from the cache and fetches only the misses.
+func TestGetBatchMixed(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"a": []byte("va"), "b": []byte("vb")})
+	rd := NewReader(st, Config{})
+	rd.Get("a", decodeString) // warm a
+
+	vals, found, err := rd.GetBatch([]string{"a", "b", "missing"}, decodeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || vals[0].(string) != "va" || !found[1] || vals[1].(string) != "vb" || found[2] {
+		t.Fatalf("batch results: vals=%v found=%v", vals, found)
+	}
+	if got := st.fetches("a"); got != 1 {
+		t.Fatalf("cached key fetched %d times, want 1", got)
+	}
+	if got := st.fetches("b"); got != 1 {
+		t.Fatalf("cold key fetched %d times, want 1", got)
+	}
+}
+
+// TestHedgedRead: a slow primary triggers a replica hedge; the replica's
+// answer is delivered once and no result is double-counted or corrupted
+// by the late primary.
+func TestHedgedRead(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"k": []byte("primary")})
+	st.delay = 50 * time.Millisecond
+	rep := &fakeReplica{data: map[string][]byte{"k": []byte("replica")}}
+	rd := NewReader(st, Config{
+		CacheTTL:    -1,
+		Replica:     rep,
+		HedgeDelay:  2 * time.Millisecond,
+		HedgeMaxPct: 100,
+	})
+
+	v, ok, err := rd.Get("k", decodeString)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if v.(string) != "replica" {
+		t.Fatalf("got %q, want the faster replica's answer", v)
+	}
+	if rep.calls.Load() != 1 {
+		t.Fatalf("replica called %d times, want 1", rep.calls.Load())
+	}
+	// The slow primary is still in flight; a fresh read must start a new
+	// fetch, not consume the stale losing response.
+	time.Sleep(60 * time.Millisecond)
+	if v, _, _ := rd.Get("k", decodeString); v.(string) == "" {
+		t.Fatalf("read after hedge returned empty value %q", v)
+	}
+}
+
+// TestHedgeRateGuard: hedges stay capped at HedgeMaxPct of dispatches
+// even when every primary read is slow.
+func TestHedgeRateGuard(t *testing.T) {
+	st := newFakeStore(map[string][]byte{"k": []byte("v")})
+	st.delay = 5 * time.Millisecond
+	rep := &fakeReplica{data: map[string][]byte{"k": []byte("v")}}
+	rd := NewReader(st, Config{
+		CacheTTL:    -1,
+		Replica:     rep,
+		HedgeDelay:  time.Millisecond,
+		HedgeMaxPct: 10,
+	})
+	for i := 0; i < 50; i++ {
+		rd.Get("k", decodeString)
+	}
+	d := rd.co.dispatches.Load()
+	h := rd.co.hedged.Load()
+	if h*100 > d*10+100 { // one-over slack: the guard admits the crossing hedge
+		t.Fatalf("%d hedges over %d dispatches exceeds the 10%% guard", h, d)
+	}
+	if h == 0 {
+		t.Fatal("guard admitted no hedges at all under a uniformly slow primary")
+	}
+}
+
+// TestHedgeFallback: when the winning attempt errors and the other is
+// still running, its result is used instead of failing the read.
+func TestHedgeFallback(t *testing.T) {
+	st := newFakeStore(map[string][]byte{})
+	st.delay = 3 * time.Millisecond
+	st.err = errors.New("primary down")
+	rep := &fakeReplica{data: map[string][]byte{"k": []byte("v")}, delay: 10 * time.Millisecond}
+	rd := NewReader(st, Config{
+		CacheTTL:    -1,
+		Replica:     rep,
+		HedgeDelay:  time.Millisecond,
+		HedgeMaxPct: 100,
+	})
+	v, ok, err := rd.Get("k", decodeString)
+	if err != nil || !ok || v.(string) != "v" {
+		t.Fatalf("fallback read: v=%v ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestConcurrentMixedLoad exercises the full reader under -race: many
+// goroutines over a small hot key set with concurrent invalidations.
+func TestConcurrentMixedLoad(t *testing.T) {
+	data := make(map[string][]byte)
+	for i := 0; i < 8; i++ {
+		data[fmt.Sprintf("k%d", i)] = []byte(strings.Repeat("x", 32))
+	}
+	st := newFakeStore(data)
+	rep := &fakeReplica{data: data}
+	rd := NewReader(st, Config{
+		CacheTTL:   5 * time.Millisecond,
+		Replica:    rep,
+		HedgeDelay: MinHedgeDelay,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%8)
+				if g%4 == 3 && i%50 == 0 {
+					rd.Invalidate()
+					continue
+				}
+				if i%3 == 0 {
+					vals, found, err := rd.GetBatch([]string{k, "absent"}, decodeString)
+					if err != nil || !found[0] || len(vals[0].(string)) != 32 || found[1] {
+						t.Errorf("batch %s: vals=%v found=%v err=%v", k, vals, found, err)
+						return
+					}
+				} else {
+					v, ok, err := rd.Get(k, decodeString)
+					if err != nil || !ok || len(v.(string)) != 32 {
+						t.Errorf("get %s: v=%v ok=%v err=%v", k, v, ok, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -10,6 +11,12 @@ import (
 
 	"tencentrec/internal/obsv"
 )
+
+// ErrUnknownComponent reports an operation addressed to a component the
+// topology does not contain. Callers (the HTTP control plane) match it
+// with errors.Is to distinguish "no such component" from invalid
+// arguments.
+var ErrUnknownComponent = errors.New("stream: unknown component")
 
 // Topology is a validated processing graph, ready to run.
 // Build one with TopologyBuilder.
@@ -1100,7 +1107,7 @@ func (rt *runtime) rebalance(component string, n int) error {
 	}
 	ct, ok := rt.comps[component]
 	if !ok {
-		return fmt.Errorf("stream: unknown component %q", component)
+		return fmt.Errorf("%w %q", ErrUnknownComponent, component)
 	}
 	if ct.isSpout {
 		return fmt.Errorf("stream: cannot rebalance spout %q (spout parallelism is bound to input partitioning)", component)
@@ -1192,7 +1199,7 @@ func (h *RunningTopology) Stop() {
 func (h *RunningTopology) RestartTask(component string, index int) error {
 	ct, ok := h.rt.comps[component]
 	if !ok {
-		return fmt.Errorf("stream: unknown component %q", component)
+		return fmt.Errorf("%w %q", ErrUnknownComponent, component)
 	}
 	tasks := ct.tasks()
 	if index < 0 || index >= len(tasks) {

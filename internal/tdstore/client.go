@@ -488,6 +488,107 @@ func (cl *Client) doBatchPut(keys []string, values [][]byte) error {
 	return fmt.Errorf("tdstore: batch put of %d keys: retries exhausted: %w", len(keys), lastErr)
 }
 
+// ReplicaBatchGet returns the values for keys in one pass, preferring
+// each instance's first slave replica over its host — the read half of
+// a hedged read, spreading tail reads off the hot host. Replica copies
+// may lag the host by the in-flight replication queue, so results can
+// be slightly stale; callers (the serving tier) accept that the same
+// way they accept cache-TTL staleness. Keys whose instance has no live
+// reachable replica fall back to the regular host read path with its
+// full retry budget.
+func (cl *Client) ReplicaBatchGet(keys []string) ([][]byte, []bool, error) {
+	if ins := cl.ins; ins != nil {
+		start := obsv.Now()
+		vals, found, err := cl.doReplicaBatchGet(keys)
+		observe(ins.replicaGet, start)
+		return vals, found, err
+	}
+	return cl.doReplicaBatchGet(keys)
+}
+
+func (cl *Client) doReplicaBatchGet(keys []string) ([][]byte, []bool, error) {
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	rt := cl.cachedRoute()
+	groups := make(map[string][]batchGetItem)
+	for i, key := range keys {
+		inst := rt.InstanceFor(key)
+		target := rt.Hosts[inst]
+		if slaves := rt.Slaves[inst]; len(slaves) > 0 {
+			target = slaves[0]
+		}
+		groups[target] = append(groups[target], batchGetItem{inst: inst, key: key, pos: i})
+	}
+	type replicaGroup struct {
+		server string
+		items  []batchGetItem
+		err    error
+	}
+	flat := make([]replicaGroup, 0, len(groups))
+	for server, items := range groups {
+		flat = append(flat, replicaGroup{server: server, items: items})
+	}
+	runGroups(len(flat), func(i int) {
+		g := &flat[i]
+		ds, ok := cl.c.server(g.server)
+		if !ok {
+			g.err = fmt.Errorf("tdstore: route names unknown server %q", g.server)
+			return
+		}
+		g.err = ds.replicaBatchGet(g.items, vals, found)
+	})
+	// One attempt against the replicas; anything that failed (replica
+	// down, route stale) is served through the host path, which carries
+	// its own refresh-and-retry budget. The hedge stays useful even
+	// when a replica has just died.
+	var failed []int
+	for _, g := range flat {
+		if g.err == nil {
+			continue
+		}
+		if !retryable(g.err) {
+			return nil, nil, g.err
+		}
+		for _, it := range g.items {
+			failed = append(failed, it.pos)
+		}
+	}
+	if len(failed) > 0 {
+		sub := make([]string, len(failed))
+		for j, pos := range failed {
+			sub[j] = keys[pos]
+		}
+		subVals, subFound, err := cl.doBatchGet(sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, pos := range failed {
+			vals[pos], found[pos] = subVals[j], subFound[j]
+		}
+	}
+	return vals, found, nil
+}
+
+// ReadLatencyQuantile estimates the q-th quantile of this client's
+// observed read latencies (point gets merged with batch gets). It
+// returns 0 on an uninstrumented client or before any read has been
+// observed. The serving tier uses the p95 as its live hedge delay.
+func (cl *Client) ReadLatencyQuantile(q float64) time.Duration {
+	ins := cl.ins
+	if ins == nil {
+		return 0
+	}
+	s := ins.get.Snapshot()
+	s.Merge(ins.batchGet.Snapshot())
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Quantile(q))
+}
+
 // MGet returns the values for keys with per-key found flags. It is
 // BatchGet under the historical name: the route table is refreshed at
 // most once per batch attempt, and misses are reported explicitly

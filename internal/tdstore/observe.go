@@ -8,12 +8,13 @@ import "tencentrec/internal/obsv"
 // predictable branch and an instrumented one never resolves a label on
 // the hot path.
 type clientInstruments struct {
-	get      *obsv.Histogram
-	put      *obsv.Histogram
-	del      *obsv.Histogram
-	incr     *obsv.Histogram
-	batchGet *obsv.Histogram
-	batchPut *obsv.Histogram
+	get        *obsv.Histogram
+	put        *obsv.Histogram
+	del        *obsv.Histogram
+	incr       *obsv.Histogram
+	batchGet   *obsv.Histogram
+	batchPut   *obsv.Histogram
+	replicaGet *obsv.Histogram
 
 	retries   *obsv.Counter
 	refreshes *obsv.Counter
@@ -28,14 +29,15 @@ type clientInstruments struct {
 func (cl *Client) Instrument(r *obsv.Registry) {
 	const opHelp = "TDStore client operation latency by op."
 	cl.ins = &clientInstruments{
-		get:       r.Histogram("tdstore_op_seconds", opHelp, "op", "get"),
-		put:       r.Histogram("tdstore_op_seconds", opHelp, "op", "put"),
-		del:       r.Histogram("tdstore_op_seconds", opHelp, "op", "delete"),
-		incr:      r.Histogram("tdstore_op_seconds", opHelp, "op", "incr"),
-		batchGet:  r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_get"),
-		batchPut:  r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_put"),
-		retries:   r.Counter("tdstore_retries_total", "Operation attempts retried after a retryable server error."),
-		refreshes: r.Counter("tdstore_route_refreshes_total", "Route table refetches from the config servers."),
+		get:        r.Histogram("tdstore_op_seconds", opHelp, "op", "get"),
+		put:        r.Histogram("tdstore_op_seconds", opHelp, "op", "put"),
+		del:        r.Histogram("tdstore_op_seconds", opHelp, "op", "delete"),
+		incr:       r.Histogram("tdstore_op_seconds", opHelp, "op", "incr"),
+		batchGet:   r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_get"),
+		batchPut:   r.Histogram("tdstore_op_seconds", opHelp, "op", "batch_put"),
+		replicaGet: r.Histogram("tdstore_op_seconds", opHelp, "op", "replica_batch_get"),
+		retries:    r.Counter("tdstore_retries_total", "Operation attempts retried after a retryable server error."),
+		refreshes:  r.Counter("tdstore_route_refreshes_total", "Route table refetches from the config servers."),
 	}
 }
 

@@ -1,0 +1,74 @@
+package tdstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReplicaBatchGetServesFromSlaves(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16})
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < 100; i++ {
+		keys = append(keys, fmt.Sprintf("rk-%d", i))
+		vals = append(vals, []byte(fmt.Sprintf("v-%d", i)))
+	}
+	if err := cl.BatchPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	// Replica reads are only as fresh as replication; sync first.
+	c.WaitSync()
+
+	probe := append(append([]string(nil), keys...), "rk-absent")
+	got, found, err := cl.ReplicaBatchGet(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || string(got[i]) != string(vals[i]) {
+			t.Fatalf("replica read %s = %q found=%v", keys[i], got[i], found[i])
+		}
+	}
+	if found[len(keys)] {
+		t.Fatal("absent key reported found by replica read")
+	}
+}
+
+func TestReplicaBatchGetFallsBackWhenReplicaDies(t *testing.T) {
+	c, cl := newTestCluster(t, Options{DataServers: 4, Instances: 16})
+	var keys []string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("fk-%d", i)
+		keys = append(keys, k)
+		if err := cl.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitSync()
+	// Kill the server holding the first slave of some instance. The
+	// client's cached route still points replica reads at it; they must
+	// fall back to the host path instead of failing.
+	rt := cl.cachedRoute()
+	var victim string
+	for inst := range rt.Slaves {
+		if s := rt.Slaves[inst]; len(s) > 0 {
+			victim = s[0]
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no slave replicas in the route table")
+	}
+	if err := c.KillDataServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := cl.ReplicaBatchGet(keys)
+	if err != nil {
+		t.Fatalf("replica read after replica death: %v", err)
+	}
+	for i := range keys {
+		if !found[i] || string(got[i]) != "v" {
+			t.Fatalf("post-failure replica read %s = %q found=%v", keys[i], got[i], found[i])
+		}
+	}
+}

@@ -381,6 +381,31 @@ func (ds *DataServer) hostBatchGet(items []batchGetItem, vals [][]byte, found []
 	return nil
 }
 
+// replicaBatchGet serves a batched read from this server's resident
+// copies of the addressed instances, host or slave alike — the hedged
+// read path. A slave copy may lag the host by the replication queue, so
+// replica reads are only used where bounded staleness is acceptable
+// (the serving tier's hedges). Same lock-free shape as hostBatchGet.
+func (ds *DataServer) replicaBatchGet(items []batchGetItem, vals [][]byte, found []bool) error {
+	h := ds.hosting.Load()
+	if h.down {
+		return ErrServerDown
+	}
+	for _, it := range items {
+		if _, ok := h.instances[it.inst]; !ok {
+			return ErrNotHost
+		}
+	}
+	for _, it := range items {
+		v, ok, err := h.instances[it.inst].Get(it.key)
+		if err != nil {
+			return err
+		}
+		vals[it.pos], found[it.pos] = v, ok
+	}
+	return nil
+}
+
 // hostBatchPut serves a batched write. Items are grouped by instance and
 // each group is applied under that instance's write mutex with its
 // replication ops enqueued before the mutex is released (the same fence

@@ -3,11 +3,13 @@ package topology
 import (
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"tencentrec/internal/core"
 	"tencentrec/internal/ctr"
 	"tencentrec/internal/demographic"
+	"tencentrec/internal/serving"
 )
 
 // Serving is the recommender engine of Fig. 9: it "accepts user queries
@@ -18,6 +20,7 @@ import (
 type Serving struct {
 	st State
 	p  Params
+	rd *serving.Reader // optional serving tier; nil reads the state directly
 }
 
 // NewServing returns a query engine over the topology's state.
@@ -25,19 +28,43 @@ func NewServing(st State, p Params) *Serving {
 	return &Serving{st: st, p: p.withDefaults()}
 }
 
+// WithReader routes the engine's reads of top-K lists and user
+// histories through the batch-query serving tier: a decoded-result
+// cache with TTL invalidation and negative caching, per-key
+// singleflight coalescing into store batches, and hedged replica reads.
+// Results may then be up to the reader's cache TTL stale. Returns s.
+func (s *Serving) WithReader(rd *serving.Reader) *Serving {
+	s.rd = rd
+	return s
+}
+
+// decodeListValue and decodeHistoryValue adapt the codec to the serving
+// tier's cacheable-any contract. Cached values are shared across hits:
+// the read path never mutates a decoded list or history.
+func decodeListValue(b []byte) (any, error)    { return decodeList(b) }
+func decodeHistoryValue(b []byte) (any, error) { return decodeHistory(b) }
+
 // SimilarItems returns an item's current similar-items list.
 func (s *Serving) SimilarItems(item string, n int) ([]core.ScoredItem, error) {
 	return s.readList(prefixSimilar+item, n)
 }
 
 func (s *Serving) readList(key string, n int) ([]core.ScoredItem, error) {
-	raw, ok, err := s.st.Get(key)
-	if err != nil || !ok {
-		return nil, err
-	}
-	list, err := decodeList(raw)
-	if err != nil {
-		return nil, err
+	var list storedList
+	if s.rd != nil {
+		v, ok, err := s.rd.Get(key, decodeListValue)
+		if err != nil || !ok {
+			return nil, err
+		}
+		list = v.(storedList)
+	} else {
+		raw, ok, err := s.st.Get(key)
+		if err != nil || !ok {
+			return nil, err
+		}
+		if list, err = decodeList(raw); err != nil {
+			return nil, err
+		}
 	}
 	if n > 0 && len(list) > n {
 		list = list[:n]
@@ -51,11 +78,28 @@ func (s *Serving) readLists(keys []string, n int) ([][]core.ScoredItem, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	out := make([][]core.ScoredItem, len(keys))
+	if s.rd != nil {
+		vs, found, err := s.rd.GetBatch(keys, decodeListValue)
+		if err != nil {
+			return nil, err
+		}
+		for i := range keys {
+			if !found[i] {
+				continue
+			}
+			list := vs[i].(storedList)
+			if n > 0 && len(list) > n {
+				list = list[:n]
+			}
+			out[i] = list
+		}
+		return out, nil
+	}
 	vals, found, err := s.st.BatchGet(keys)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]core.ScoredItem, len(keys))
 	for i := range keys {
 		if !found[i] {
 			continue
@@ -74,6 +118,13 @@ func (s *Serving) readLists(keys []string, n int) ([][]core.ScoredItem, error) {
 
 // history loads a user's stored behavior history.
 func (s *Serving) history(user string) (storedHistory, error) {
+	if s.rd != nil {
+		v, ok, err := s.rd.Get(prefixUserHistory+user, decodeHistoryValue)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return v.(storedHistory), nil
+	}
 	raw, ok, err := s.st.Get(prefixUserHistory + user)
 	if err != nil || !ok {
 		return nil, err
@@ -112,6 +163,17 @@ func (s *Serving) recentItems(hist storedHistory, now time.Time) []core.ScoredIt
 func (s *Serving) RecommendCF(user string, now time.Time, n int, exclude map[string]bool) ([]core.ScoredItem, error) {
 	if n <= 0 {
 		n = 10
+	}
+	// Hot users are asked for the same slate many times per TTL window;
+	// cache the assembled answer, not just its ingredients. Results are
+	// keyed without now — within the TTL the serving clock is effectively
+	// constant — and only for the plain (no exclusions) query shape.
+	qkey := ""
+	if s.rd != nil && exclude == nil {
+		qkey = "cf|" + user + "|" + strconv.Itoa(n)
+		if v, ok := s.rd.GetResult(qkey); ok {
+			return v.([]core.ScoredItem), nil
+		}
 	}
 	hist, err := s.history(user)
 	if err != nil {
@@ -188,6 +250,9 @@ func (s *Serving) RecommendCF(user string, now time.Time, n int, exclude map[str
 			have[sc.Item] = true
 		}
 	}
+	if qkey != "" {
+		s.rd.PutResult(qkey, out)
+	}
 	return out, nil
 }
 
@@ -210,6 +275,13 @@ func (s *Serving) HotItems(user string, n int) ([]core.ScoredItem, error) {
 func (s *Serving) ARRecommend(user string, now time.Time, n int) ([]core.ScoredItem, error) {
 	if n <= 0 {
 		n = 10
+	}
+	qkey := ""
+	if s.rd != nil {
+		qkey = "ar|" + user + "|" + strconv.Itoa(n)
+		if v, ok := s.rd.GetResult(qkey); ok {
+			return v.([]core.ScoredItem), nil
+		}
 	}
 	hist, err := s.history(user)
 	if err != nil {
@@ -248,6 +320,9 @@ func (s *Serving) ARRecommend(user string, now time.Time, n int) ([]core.ScoredI
 	})
 	if len(out) > n {
 		out = out[:n]
+	}
+	if qkey != "" {
+		s.rd.PutResult(qkey, out)
 	}
 	return out, nil
 }

@@ -1,0 +1,67 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tencentrec/internal/serving"
+)
+
+// TestServingTierParity runs one workload into state and checks that the
+// engine answers identically with and without the serving tier in front
+// of its reads — the tier is a cache, not a different algorithm.
+func TestServingTierParity(t *testing.T) {
+	actions := genActions(71, 1200, 25, 20)
+	st := NewMemState()
+	p := Params{FlushInterval: time.Hour}
+	topo, err := NewBuilder("parity", NewSliceSpout(actions), st, p).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, actions[len(actions)-1].TS)
+
+	direct := NewServing(st, p)
+	tiered := NewServing(st, p).WithReader(serving.NewReader(st, serving.Config{}))
+
+	for i := 0; i < 25; i++ {
+		user := fmt.Sprintf("u%d", i)
+		want, err := direct.RecommendCF(user, now, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tiered.RecommendCF(user, now, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("RecommendCF(%s) diverges with serving tier:\n tier: %v\n direct: %v", user, got, want)
+		}
+		wantHot, _ := direct.HotItems(user, 10)
+		gotHot, _ := tiered.HotItems(user, 10)
+		if fmt.Sprint(gotHot) != fmt.Sprint(wantHot) {
+			t.Fatalf("HotItems(%s) diverges with serving tier", user)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		item := fmt.Sprintf("i%d", i)
+		want, _ := direct.SimilarItems(item, 10)
+		got, _ := tiered.SimilarItems(item, 10)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("SimilarItems(%s) diverges with serving tier", item)
+		}
+	}
+	// Repeat queries hit the cache; answers must not change.
+	for i := 0; i < 5; i++ {
+		user := fmt.Sprintf("u%d", i)
+		want, _ := direct.RecommendCF(user, now, 10, nil)
+		got, _ := tiered.RecommendCF(user, now, 10, nil)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cached RecommendCF(%s) diverges", user)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
-# and write the results to a JSON snapshot (BENCH_PR6.json by default).
+# and write the results to a JSON snapshot (BENCH_PR7.json by default).
 #
 # Fixed iteration counts (-benchtime=Nx) keep runs comparable across
 # machines and across PRs: the interesting number is ns/op at a known
@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 # Snapshot label derived from the output name (BENCH_PR5.json -> PR5),
 # so rerunning under a different name stays self-describing.
 snap="$(basename "$out" .json)"
@@ -51,6 +51,10 @@ run "serving front-end benchmarks (2000x)" \
 	-run=NONE \
 	-bench='BenchmarkHTTPRecommend$|BenchmarkHTTPMetricsPrometheus$' \
 	-benchtime=2000x -count=3 .
+
+run "serving-tier read mix, tier on vs off (50000x)" \
+	-run=NONE -bench='BenchmarkHTTPServingMix' \
+	-benchtime=50000x -count=3 .
 
 run "burst workload under overflow spill (50000x)" \
 	-run=NONE -bench='BenchmarkBurstOverflow$' \

@@ -19,8 +19,11 @@ fi
 echo "== go test -race elastic parallelism (rebalance, backpressure, overflow, restart stress)"
 go test -race -run 'TestRebalance|TestBurst|TestBackpressure|TestOverflow|TestStressFieldsGroupingUnderRestarts' ./internal/stream/
 
-echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, obsv)"
-go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/obsv/
+echo "== go test -race serving tier (singleflight, TTL, negative cache, hedged reads)"
+go test -race -run 'TestSingleflight|TestCoalesced|TestCache|TestNegativeCache|TestInvalidate|TestLRU|TestGetBatch|TestHedge|TestConcurrentMixedLoad' ./internal/serving/
+
+echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, serving, obsv)"
+go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/serving/ ./internal/obsv/
 
 echo "== transport benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/

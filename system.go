@@ -10,6 +10,7 @@ import (
 	"tencentrec/internal/core"
 	"tencentrec/internal/ctr"
 	"tencentrec/internal/obsv"
+	"tencentrec/internal/serving"
 	"tencentrec/internal/stream"
 	"tencentrec/internal/tdaccess"
 	"tencentrec/internal/tdstore"
@@ -81,6 +82,24 @@ type SystemConfig struct {
 	// spill to a segment log instead and replay in order as queues drain,
 	// so bursts cost disk rather than memory or ingest stalls.
 	OverflowSpill bool
+	// DisableServingTier turns off the batch-query serving tier (result
+	// cache, request coalescing, hedged replica reads) so queries read
+	// TDStore directly. For ablation benchmarks; leave false in service.
+	DisableServingTier bool
+	// ServingCacheTTL bounds how stale a cached query result may be.
+	// 0 uses the default (serving.DefaultCacheTTL); negative disables the
+	// result cache while keeping request coalescing.
+	ServingCacheTTL time.Duration
+	// ServingCacheSize caps the number of cached decoded results. 0 uses
+	// the default (serving.DefaultMaxEntries); negative disables caching.
+	ServingCacheSize int
+	// ServingNegativeTTL bounds how long a known-absent key is served
+	// from the cache. 0 uses the default (serving.DefaultNegativeTTL).
+	ServingNegativeTTL time.Duration
+	// ServingHedgeDelay is how long a store read may run before a hedge
+	// is issued against a replica. 0 derives the delay from the live p95
+	// of tdstore_op_seconds; negative disables hedging.
+	ServingHedgeDelay time.Duration
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -117,6 +136,7 @@ type System struct {
 	topo     *stream.Topology
 	running  *stream.RunningTopology
 	serving  *topology.Serving
+	reader   *serving.Reader // nil when DisableServingTier
 	registry *obsv.Registry
 	tracer   *obsv.Tracer // nil when TraceEvery < 0
 
@@ -184,6 +204,28 @@ func Open(cfg SystemConfig) (*System, error) {
 		cluster.Close()
 		return nil, fmt.Errorf("tencentrec: build topology: %w", err)
 	}
+	eng := topology.NewServing(client, c.Params)
+	var reader *serving.Reader
+	if !c.DisableServingTier {
+		// The serving tier fronts query reads with a decoded-result cache,
+		// per-key coalescing into BatchGet, and hedged replica reads. The
+		// hedge delay tracks the live p95 of store reads unless pinned.
+		scfg := serving.Config{
+			CacheTTL:    c.ServingCacheTTL,
+			NegativeTTL: c.ServingNegativeTTL,
+			MaxEntries:  c.ServingCacheSize,
+			Replica:     client,
+			HedgeDelay:  c.ServingHedgeDelay,
+		}
+		if c.ServingHedgeDelay == 0 {
+			scfg.HedgeDelayFn = func() time.Duration {
+				return client.ReadLatencyQuantile(0.95)
+			}
+		}
+		reader = serving.NewReader(client, scfg)
+		reader.Instrument(registry)
+		eng.WithReader(reader)
+	}
 	s := &System{
 		cfg:      c,
 		broker:   broker,
@@ -191,7 +233,8 @@ func Open(cfg SystemConfig) (*System, error) {
 		client:   client,
 		producer: broker.NewProducer(),
 		topo:     topo,
-		serving:  topology.NewServing(client, c.Params),
+		serving:  eng,
+		reader:   reader,
 		registry: registry,
 		tracer:   tracer,
 	}
@@ -233,6 +276,11 @@ func (s *System) Drain(timeout time.Duration) error {
 			// three flush intervals: combiner flush, similarity recheck, storage.
 			time.Sleep(3*flush + 30*time.Millisecond)
 			s.cluster.WaitSync()
+			// Drained means "queries now see everything published", so the
+			// serving tier must not hand out results cached before the sync.
+			if s.reader != nil {
+				s.reader.Invalidate()
+			}
 			return nil
 		}
 		if time.Now().After(deadline) {
