@@ -14,6 +14,10 @@
 //	POST /control/rebalance            ?component=c&parallelism=n (or JSON
 //	                                   body): change a bolt's live task
 //	                                   count without stopping the pipeline
+//	POST /control/checkpoint           [?timeout=30s] drain and write an
+//	                                   offset-anchored store snapshot to
+//	                                   -checkpoint-dir; restart with
+//	                                   -restore to resume from it
 //	GET  /metrics                      topology metrics snapshot (table);
 //	                                   Prometheus text with
 //	                                   Accept: text/plain; version=0.0.4
@@ -47,6 +51,11 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	dataDir := flag.String("data", "", "TDAccess data directory (required)")
+	storeEngine := flag.String("store-engine", "mdb", "TDStore storage engine: mdb (in-memory), ldb (log-structured, durable) or fdb (file buckets)")
+	storeDir := flag.String("store-dir", "", "directory for durable store engines (default <data>/tdstore)")
+	storeSync := flag.Bool("store-sync", false, "fsync the ldb write-ahead log via group commit (survives power loss, not just crashes)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for offset-anchored store checkpoints (default <data>/checkpoint)")
+	restore := flag.Bool("restore", false, "cold-start the store from the checkpoint in -checkpoint-dir and replay only the tail (requires -store-engine ldb)")
 	enableCB := flag.Bool("cb", true, "enable the content-based chain")
 	enableCtr := flag.Bool("ctr", true, "enable the situational CTR chain")
 	enableAR := flag.Bool("ar", false, "enable the association-rule chain")
@@ -69,7 +78,12 @@ func main() {
 	}
 
 	sys, err := tencentrec.Open(tencentrec.SystemConfig{
-		DataDir: *dataDir,
+		DataDir:               *dataDir,
+		StoreEngine:           *storeEngine,
+		StoreDir:              *storeDir,
+		StoreSyncWrites:       *storeSync,
+		CheckpointDir:         *checkpointDir,
+		RestoreFromCheckpoint: *restore,
 		Params: tencentrec.Params{
 			FlushInterval: *flush,
 			EnableAR:      *enableAR,

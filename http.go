@@ -42,7 +42,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 // Handler returns the recommender front end of Fig. 9 as an
 // http.Handler: ingestion via POST /action and /item, queries via
 // GET /recommend, /similar, /hot, /ads, operations via
-// POST /control/rebalance (live bolt parallelism changes), and the
+// POST /control/rebalance (live bolt parallelism changes) and
+// POST /control/checkpoint (offset-anchored store snapshot), and the
 // monitor via GET /metrics (the human-readable table by default;
 // Prometheus text exposition under Accept: text/plain; version=0.0.4 or
 // ?format=prometheus), GET /debug/vars (JSON metrics dump) and
@@ -157,6 +158,28 @@ func (s *System) Handler() http.Handler {
 		json.NewEncoder(w).Encode(map[string]interface{}{
 			"component":   body.Component,
 			"parallelism": s.Parallelism(body.Component),
+		})
+	})
+	handle("POST /control/checkpoint", "control_checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the pipeline and write an offset-anchored store snapshot
+		// to CheckpointDir; a later cold start with -restore resumes from
+		// it replaying only the tail (DESIGN.md §16).
+		timeout := 30 * time.Second
+		if raw := r.URL.Query().Get("timeout"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("query parameter timeout must be a positive duration, got %q", raw), http.StatusBadRequest)
+				return
+			}
+			timeout = d
+		}
+		if err := s.Checkpoint(timeout); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"checkpoint_dir": s.cfg.CheckpointDir,
 		})
 	})
 	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {

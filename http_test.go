@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tencentrec/internal/tdstore"
 )
 
 func newTestServer(t *testing.T) (*System, *httptest.Server) {
@@ -343,4 +345,33 @@ func TestHTTPDebugEndpoints(t *testing.T) {
 func jsonInt(v int64) string {
 	b, _ := json.Marshal(v)
 	return string(b)
+}
+
+func TestHTTPControlCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(SystemConfig{
+		DataDir:     dir,
+		StoreEngine: "ldb",
+		Params:      Params{FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+
+	publishCluster(t, sys)
+	resp := postJSON(t, srv.URL+"/control/checkpoint", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /control/checkpoint = %s", resp.Status)
+	}
+	if _, err := tdstore.LoadCheckpoint(sys.cfg.CheckpointDir); err != nil {
+		t.Fatalf("checkpoint endpoint left no loadable manifest: %v", err)
+	}
+
+	resp = postJSON(t, srv.URL+"/control/checkpoint?timeout=bogus", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout = %s, want 400", resp.Status)
+	}
 }

@@ -284,6 +284,38 @@ func (b *Broker) CommittedOffset(group, topicName string, partition int) (int64,
 	return gs.offsets[partition], nil
 }
 
+// SeedCommittedOffsets installs a group's committed offsets for a topic
+// before any consumer joins — the cold-restart path: the broker's group
+// state is in-memory and dies with the process, so a restore replants
+// the checkpoint manifest's frontier here and consumers then resume
+// reading right after it. Seeding is monotone per partition (an existing
+// higher commit wins), so replaying a stale manifest can never rewind a
+// group. The topic is created if its partitions are not yet open.
+func (b *Broker) SeedCommittedOffsets(group, topicName string, offsets []int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, err := b.getOrCreateTopicLocked(topicName)
+	if err != nil {
+		return err
+	}
+	if len(offsets) != len(t.parts) {
+		return fmt.Errorf("tdaccess: seed offsets: %d offsets for %d partitions of %s",
+			len(offsets), len(t.parts), topicName)
+	}
+	gk := groupKey{group, topicName}
+	gs := b.groups[gk]
+	if gs == nil {
+		gs = &groupState{offsets: make([]int64, len(t.parts))}
+		b.groups[gk] = gs
+	}
+	for p, off := range offsets {
+		if off > gs.offsets[p] {
+			gs.offsets[p] = off
+		}
+	}
+	return nil
+}
+
 // rebalanceLocked recomputes a group's partition assignment after a
 // membership change. Offsets are preserved; the epoch bump tells each
 // consumer to refetch its assignment.

@@ -105,6 +105,16 @@ func NewCluster(opts Options) (*Cluster, error) {
 		for _, ds := range append([]*DataServer{host}, slaves...) {
 			eng, err := o.Engine(ds.ID, InstanceID(inst))
 			if err != nil {
+				// Unwind everything already materialized: disk engines
+				// hold WAL handles and goroutines that would otherwise
+				// leak past the failed construction.
+				for _, s := range c.servers {
+					s.stop()
+					h := s.hosting.Load()
+					for _, e := range h.instances {
+						e.Close()
+					}
+				}
 				return nil, fmt.Errorf("tdstore: create engine: %w", err)
 			}
 			ds.addInstance(InstanceID(inst), eng)

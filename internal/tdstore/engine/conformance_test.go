@@ -233,6 +233,90 @@ func TestEngineModelProperty(t *testing.T) {
 	}
 }
 
+// TestLDBCrashReopenResumeConformance drives an LDB store and the MDB
+// engine with the same random operation stream, but crash-kills and
+// reopens the LDB at random points (no flush, no fsync rescue — the
+// directory is exactly what a dead process leaves). After every crash
+// and at the end, the recovered LDB must agree with MDB key-for-key:
+// durable recovery may not change engine semantics.
+func TestLDBCrashReopenResumeConformance(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value []byte
+		Crash bool
+	}
+	opts := ldb.Options{FlushThreshold: 16, MaxTables: 3}
+	f := func(ops []op) bool {
+		dir := t.TempDir()
+		s, err := ldb.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdb := engine.NewMemory()
+		defer mdb.Close()
+		agree := func() bool {
+			want := make(map[string]string)
+			mdb.Range(func(k string, v []byte) bool { want[k] = string(v); return true })
+			got := make(map[string]string)
+			if err := s.Range(func(k string, v []byte) bool { got[k] = string(v); return true }); err != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		for _, o := range ops {
+			if o.Crash {
+				s.Crash()
+				if s, err = ldb.Open(dir, opts); err != nil {
+					t.Fatal(err)
+				}
+				if !agree() {
+					s.Close()
+					return false
+				}
+			}
+			k := fmt.Sprintf("key-%d", o.Key%32)
+			switch o.Kind % 3 {
+			case 0:
+				if s.Put(k, o.Value) != nil || mdb.Put(k, o.Value) != nil {
+					s.Close()
+					return false
+				}
+			case 1:
+				if s.Delete(k) != nil || mdb.Delete(k) != nil {
+					s.Close()
+					return false
+				}
+			case 2:
+				v, ok, err := s.Get(k)
+				if err != nil {
+					s.Close()
+					return false
+				}
+				mv, mok, _ := mdb.Get(k)
+				if ok != mok || (ok && string(v) != string(mv)) {
+					s.Close()
+					return false
+				}
+			}
+		}
+		ok := agree()
+		s.Close()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMemoryTTLExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }

@@ -36,6 +36,39 @@ type Engine interface {
 	Close() error
 }
 
+// Checkpointer is implemented by engines that can publish a consistent
+// point-in-time snapshot of their state into a directory. The snapshot
+// must be self-contained: opening an engine of the same kind on the
+// directory must yield exactly the state at the moment of the call, and
+// the files must stay valid even as the source engine keeps mutating
+// (hard links or copies, never shared mutable files).
+type Checkpointer interface {
+	Checkpoint(dir string) error
+}
+
+// Stats is a point-in-time snapshot of a durable engine's internal
+// counters, exposed for observability. All counters are cumulative since
+// the engine was opened except Tables, which is a level gauge, and
+// RecoveryNanos, which is the one-time cost of the last Open.
+type Stats struct {
+	WALBytes           int64 // bytes appended to the write-ahead log
+	WALFsyncs          int64 // fsync calls (WAL group/record syncs + table syncs)
+	MemtableFlushes    int64 // memtable → SSTable flushes
+	Compactions        int64 // completed table merges
+	CompactionBytes    int64 // bytes read + written by compactions
+	BlockCacheHits     int64
+	BlockCacheMisses   int64
+	RecoveryNanos      int64 // wall time of the last Open (replay included)
+	ReplayedWALRecords int64 // records replayed from the WAL at Open
+	TornWALTails       int64 // torn tails truncated at Open
+	Tables             int64 // current SSTable count
+}
+
+// StatsReporter is implemented by engines that publish Stats.
+type StatsReporter interface {
+	EngineStats() Stats
+}
+
 // memShardCount is the number of lock stripes in an MDB engine. A power
 // of two so shard selection is a mask, sized past the data server's
 // worker fan-out so concurrent readers and writers of different keys

@@ -1,0 +1,96 @@
+package ldb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-budgeted LRU over SSTable value reads. Keys are
+// (table, offset) pairs, so entries from distinct tables never collide
+// and a compacted table's entries can be dropped wholesale. Values are
+// stored once; callers copy on the way out to preserve the engine's
+// value-isolation contract.
+type blockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recent
+	items  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	table  *sstable
+	offset int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	value []byte
+}
+
+func newBlockCache(budget int64) *blockCache {
+	return &blockCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(t *sstable, offset int64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{t, offset}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+func (c *blockCache) put(t *sstable, offset int64, value []byte) {
+	size := int64(len(value)) + 64 // rough per-entry overhead
+	if size > c.budget {
+		return // never cache a value bigger than the whole budget
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{t, offset}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		old := el.Value.(*cacheEntry)
+		c.used += int64(len(value)) - int64(len(old.value))
+		old.value = value
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, value: value})
+	c.items[k] = el
+	c.used += size
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+	}
+}
+
+// dropTable evicts every entry belonging to t — called after compaction
+// retires a table so dead file handles don't pin cache memory.
+func (c *blockCache) dropTable(t *sstable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).key.table == t {
+			c.removeLocked(el)
+		}
+		el = next
+	}
+}
+
+func (c *blockCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= int64(len(e.value)) + 64
+}

@@ -1,0 +1,664 @@
+package ldb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// walBytes returns the current WAL contents of dir.
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// cloneDir copies every regular file of src into a fresh temp dir —
+// a disk image of the store for crash experiments.
+func cloneDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestTornWALTruncateEveryByteBoundary is the property test the issue
+// asks for: the WAL is cut at every byte boundary of the final record.
+// Reopen must (a) never lose a fully-written earlier record, (b) never
+// surface a partial final record, and (c) keep accepting writes that
+// survive a further reopen — the truncate-and-continue path.
+func TestTornWALTruncateEveryByteBoundary(t *testing.T) {
+	base := t.TempDir()
+	s, err := Open(base, Options{FlushThreshold: 1 << 20, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("beta", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := len(walBytes(t, base))
+	if err := s.Put("gamma", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	full := walBytes(t, base)
+
+	for cut := prefixLen; cut <= len(full); cut++ {
+		dir := cloneDir(t, base)
+		if err := os.Truncate(filepath.Join(dir, walName), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		for k, want := range map[string]string{"alpha": "one", "beta": "two"} {
+			v, ok, err := s2.Get(k)
+			if err != nil || !ok || string(v) != want {
+				t.Fatalf("cut=%d: lost earlier record %q: %q %v %v", cut, k, v, ok, err)
+			}
+		}
+		v, ok, err := s2.Get("gamma")
+		if err != nil {
+			t.Fatalf("cut=%d: Get(gamma): %v", cut, err)
+		}
+		if cut == len(full) {
+			if !ok || string(v) != "three" {
+				t.Fatalf("cut=%d: intact final record not recovered: %q %v", cut, v, ok)
+			}
+		} else if ok {
+			t.Fatalf("cut=%d: partial final record surfaced as %q", cut, v)
+		}
+		// Truncate-and-continue: a post-crash write must survive the next
+		// reopen (the pre-fix engine appended after the torn garbage and
+		// lost exactly these writes).
+		if err := s2.Put("delta", []byte("four")); err != nil {
+			t.Fatalf("cut=%d: post-recovery put: %v", cut, err)
+		}
+		s2.Close()
+		s3, err := Open(dir, Options{FlushThreshold: 1 << 20})
+		if err != nil {
+			t.Fatalf("cut=%d: second reopen: %v", cut, err)
+		}
+		if v, ok, _ := s3.Get("delta"); !ok || string(v) != "four" {
+			t.Fatalf("cut=%d: post-recovery write lost across reopen: %q %v", cut, v, ok)
+		}
+		if v, ok, _ := s3.Get("alpha"); !ok || string(v) != "one" {
+			t.Fatalf("cut=%d: earlier record lost after continue: %q %v", cut, v, ok)
+		}
+		s3.Close()
+	}
+}
+
+// TestTornWALCorruptEveryByte flips each byte of the final record in
+// turn; reopen must drop the corrupt record (CRC catches it) without
+// surfacing garbage or losing earlier records.
+func TestTornWALCorruptEveryByte(t *testing.T) {
+	base := t.TempDir()
+	s, err := Open(base, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("alpha", []byte("one"))
+	prefixLen := len(walBytes(t, base))
+	s.Put("gamma", []byte("three"))
+	s.Close()
+	full := walBytes(t, base)
+
+	for pos := prefixLen; pos < len(full); pos++ {
+		dir := cloneDir(t, base)
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0xff
+		if err := os.WriteFile(filepath.Join(dir, walName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+		if err != nil {
+			t.Fatalf("pos=%d: reopen: %v", pos, err)
+		}
+		if v, ok, _ := s2.Get("alpha"); !ok || string(v) != "one" {
+			t.Fatalf("pos=%d: earlier record lost: %q %v", pos, v, ok)
+		}
+		if v, ok, _ := s2.Get("gamma"); ok && string(v) != "three" {
+			t.Fatalf("pos=%d: corrupt record surfaced as %q", pos, v)
+		}
+		s2.Close()
+	}
+}
+
+// TestGroupCommitBatchesFsyncs runs many concurrent synchronous writers
+// under a group-commit interval and checks every write is durable while
+// fsyncs stay far below one per record.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		FlushThreshold: 1 << 20,
+		SyncWrites:     true,
+		SyncInterval:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Errorf("put %s: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(writers * perWriter)
+	st := s.EngineStats()
+	if st.WALFsyncs >= total {
+		t.Fatalf("fsyncs = %d for %d records; group commit did not batch", st.WALFsyncs, total)
+	}
+	if st.WALFsyncs == 0 {
+		t.Fatal("no fsyncs at all under SyncWrites")
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, _ := s2.Len()
+	if n != int(total) {
+		t.Fatalf("recovered %d records, want %d", n, total)
+	}
+}
+
+// TestFailpointErrorRetries injects a clean write error mid-stream: the
+// failing Put must report it, and because the WAL is repaired to the
+// last record boundary, a retry must succeed and everything must survive
+// reopen.
+func TestFailpointErrorRetries(t *testing.T) {
+	dir := t.TempDir()
+	var fp *failpointFile
+	s, err := Open(dir, Options{
+		FlushThreshold: 1 << 20,
+		walHook: func(f wfile) wfile {
+			if fp == nil {
+				fp = newFailpointFile(f, FailError, 40)
+				return fp
+			}
+			return fp.rewrap(f)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k0", []byte("v0")) // well under the 40-byte trigger
+	var failed bool
+	for i := 1; i < 6; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("vvvvvvvvvv")); err != nil {
+			failed = true
+			// Retry: the failpoint has fired, so the repaired WAL accepts it.
+			if err := s.Put(fmt.Sprintf("k%d", i), []byte("vvvvvvvvvv")); err != nil {
+				t.Fatalf("retry after failpoint: %v", err)
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("failpoint never fired")
+	}
+	s.Close()
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 6; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, ok, _ := s2.Get(k); !ok {
+			t.Fatalf("key %s lost after failpoint recovery", k)
+		}
+	}
+}
+
+// TestFailpointShortWrite tears a record in half on disk. The engine
+// must truncate the torn bytes away immediately (not at reopen), keep
+// accepting writes, and reopen cleanly.
+func TestFailpointShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	var fp *failpointFile
+	s, err := Open(dir, Options{
+		FlushThreshold: 1 << 20,
+		walHook: func(f wfile) wfile {
+			if fp == nil {
+				fp = newFailpointFile(f, FailShortWrite, 30)
+				return fp
+			}
+			return fp.rewrap(f)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("first", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Put("second", []byte("a-much-longer-value-crossing-the-trigger"))
+	if err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	// The repaired log must accept and persist new writes.
+	if err := s.Put("third", []byte("after-repair")); err != nil {
+		t.Fatalf("put after short-write repair: %v", err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get("first"); !ok || string(v) != "value" {
+		t.Fatalf("first = %q %v", v, ok)
+	}
+	if _, ok, _ := s2.Get("second"); ok {
+		t.Fatal("torn record surfaced after reopen")
+	}
+	if v, ok, _ := s2.Get("third"); !ok || string(v) != "after-repair" {
+		t.Fatalf("third = %q %v", v, ok)
+	}
+}
+
+// TestFailpointCrash simulates a process death with bytes in flight: the
+// wrapper stops writing at the trigger but reports success, so the store
+// believes more was durable than was. Reopening the directory must
+// recover the prefix and truncate the torn tail.
+func TestFailpointCrash(t *testing.T) {
+	dir := t.TempDir()
+	var fp *failpointFile
+	s, err := Open(dir, Options{
+		FlushThreshold: 1 << 20,
+		walHook: func(f wfile) wfile {
+			if fp == nil {
+				fp = newFailpointFile(f, FailCrash, 50)
+				return fp
+			}
+			return fp.rewrap(f)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), []byte("payload")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Abandon s without Close — the process "died". Reopen from disk.
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	// key-00 fits fully below the 50-byte trigger and must have survived;
+	// later keys may be gone, but every surviving value must be intact.
+	if v, ok, _ := s2.Get("key-00"); !ok || string(v) != "payload" {
+		t.Fatalf("key-00 lost or corrupt after crash: %q %v", v, ok)
+	}
+	err = s2.Range(func(k string, v []byte) bool {
+		if !bytes.Equal(v, []byte("payload")) {
+			t.Errorf("corrupt value for %s: %q", k, v)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockCacheServesRepeatReads flushes values to a table and reads
+// them twice: the second pass must be served by the cache.
+func TestBlockCacheServesRepeatReads(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 50; i++ {
+			v, ok, err := s.Get(fmt.Sprintf("k%d", i))
+			if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("pass %d: k%d = %q %v %v", pass, i, v, ok, err)
+			}
+		}
+	}
+	st := s.EngineStats()
+	if st.BlockCacheHits < 50 {
+		t.Fatalf("cache hits = %d, want >= 50", st.BlockCacheHits)
+	}
+	if st.BlockCacheMisses == 0 {
+		t.Fatal("no cache misses recorded on first pass")
+	}
+	// Value isolation through the cache: mutating a returned slice must
+	// not poison later reads.
+	v, _, _ := s.Get("k0")
+	for i := range v {
+		v[i] = 'X'
+	}
+	v2, _, _ := s.Get("k0")
+	if string(v2) != "v0" {
+		t.Fatalf("cache returned aliased value: %q", v2)
+	}
+}
+
+// TestBlockCacheDisabled makes sure a negative budget turns the cache
+// off without breaking reads.
+func TestBlockCacheDisabled(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 1 << 20, BlockCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	s.Flush()
+	for i := 0; i < 3; i++ {
+		if v, ok, _ := s.Get("k"); !ok || string(v) != "v" {
+			t.Fatalf("read %d failed: %q %v", i, v, ok)
+		}
+	}
+	st := s.EngineStats()
+	if st.BlockCacheHits != 0 || st.BlockCacheMisses != 0 {
+		t.Fatalf("disabled cache recorded traffic: %d hits %d misses", st.BlockCacheHits, st.BlockCacheMisses)
+	}
+}
+
+// TestBlockCacheEviction keeps the cache byte-bounded under a tiny
+// budget.
+func TestBlockCacheEviction(t *testing.T) {
+	c := newBlockCache(1 << 10)
+	t1 := &sstable{}
+	for i := 0; i < 100; i++ {
+		c.put(t1, int64(i*100), make([]byte, 100))
+	}
+	c.mu.Lock()
+	used := c.used
+	c.mu.Unlock()
+	if used > 1<<10 {
+		t.Fatalf("cache used %d bytes, budget %d", used, 1<<10)
+	}
+	c.dropTable(t1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used != 0 || c.ll.Len() != 0 {
+		t.Fatalf("dropTable left %d bytes / %d entries", c.used, c.ll.Len())
+	}
+}
+
+// TestCompactionRateLimit bounds compaction I/O with a token bucket and
+// checks the merge still completes correctly (timing is not asserted —
+// CI clocks are unreliable — only that limiting is active and harmless).
+func TestCompactionRateLimit(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{
+		FlushThreshold:   8,
+		MaxTables:        2,
+		CompactRateBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i%25), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WaitCompaction()
+	st := s.EngineStats()
+	if st.Compactions == 0 {
+		t.Fatal("no compactions ran")
+	}
+	if st.CompactionBytes == 0 {
+		t.Fatal("compaction bytes not accounted")
+	}
+	n, _ := s.Len()
+	if n != 25 {
+		t.Fatalf("Len = %d, want 25", n)
+	}
+}
+
+// TestBackgroundCompactionSupersedesInputs crashes "between" publishing
+// a merged table and deleting its inputs by recreating that disk layout,
+// then checks reopen drops the stale inputs.
+func TestBackgroundCompactionSupersedesInputs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("old"))
+	s.Flush() // sst-00000000
+	s.Put("k", []byte("new"))
+	s.Flush() // sst-00000001
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Resurrect a stale input alongside the merged range table: a crash
+	// mid-cleanup leaves exactly this layout.
+	stale := filepath.Join(dir, "sst-00000000.tbl")
+	f, err := os.Create(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeRecord(f, record{key: []byte("k"), value: []byte("old")}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get("k"); !ok || string(v) != "new" {
+		t.Fatalf("stale input resurrected: k = %q %v", v, ok)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("superseded table not removed: %v", err)
+	}
+}
+
+// TestCheckpointIsConsistentSnapshot checkpoints a live store, keeps
+// mutating and compacting the source, and then opens the checkpoint:
+// it must hold exactly the state at checkpoint time.
+func TestCheckpointIsConsistentSnapshot(t *testing.T) {
+	src := t.TempDir()
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	s, err := Open(src, Options{FlushThreshold: 4, MaxTables: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete("k00")
+	if err := s.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate and compact the source after the checkpoint; hard links must
+	// keep the checkpointed tables alive even as compaction unlinks them.
+	for i := 0; i < 40; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("mutated"))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(ckpt, Options{})
+	if err != nil {
+		t.Fatalf("open checkpoint: %v", err)
+	}
+	defer c.Close()
+	if _, ok, _ := c.Get("k00"); ok {
+		t.Fatal("deleted key present in checkpoint")
+	}
+	for i := 1; i < 20; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("checkpoint %s = %q %v %v, want v%d", k, v, ok, err, i)
+		}
+	}
+	n, _ := c.Len()
+	if n != 19 {
+		t.Fatalf("checkpoint Len = %d, want 19", n)
+	}
+}
+
+// TestCheckpointOverwritesStale reuses a checkpoint directory and makes
+// sure tables from the previous checkpoint cannot leak into the new one.
+func TestCheckpointOverwritesStale(t *testing.T) {
+	ckpt := t.TempDir()
+	s, err := Open(t.TempDir(), Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("old-only", []byte("x"))
+	if err := s.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("old-only")
+	s.Put("new-only", []byte("y"))
+	if err := s.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(ckpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, _ := c.Get("old-only"); ok {
+		t.Fatal("stale checkpoint content leaked into a reused directory")
+	}
+	if v, ok, _ := c.Get("new-only"); !ok || string(v) != "y" {
+		t.Fatalf("new-only = %q %v", v, ok)
+	}
+}
+
+// TestRecoveryStats reports replayed records and recovery time.
+func TestRecoveryStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	s.Close()
+	s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.EngineStats()
+	if st.ReplayedWALRecords != 10 {
+		t.Fatalf("ReplayedWALRecords = %d, want 10", st.ReplayedWALRecords)
+	}
+	if st.RecoveryNanos <= 0 {
+		t.Fatal("RecoveryNanos not recorded")
+	}
+}
+
+func BenchmarkLDBPutSyncEachRecord(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{SyncWrites: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	v := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%d", i%4096), v)
+	}
+}
+
+func BenchmarkLDBPutGroupCommit(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{SyncWrites: true, SyncInterval: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	v := make([]byte, 64)
+	// Group commit amortizes fsyncs across concurrent writers; a lone
+	// writer would just measure the sync interval. Force a wide writer
+	// pool even on a single-core runner so ns/op reflects the shared
+	// window.
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Put(fmt.Sprintf("k%d", i%4096), v)
+			i++
+		}
+	})
+}
+
+func BenchmarkLDBRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]byte, 64)
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("k%d", i), v)
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, err := Open(dir, Options{FlushThreshold: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s2.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,99 @@
+package ldb
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrFailpoint is the error a triggered failpoint injects.
+var ErrFailpoint = errors.New("ldb: injected failpoint")
+
+// failpoint fault modes.
+const (
+	// FailError makes the write at the trigger offset return an error
+	// after writing nothing.
+	FailError = iota
+	// FailShortWrite writes only up to the trigger offset, then returns
+	// an error — a torn record in the middle of an append.
+	FailShortWrite
+	// FailCrash writes up to the trigger offset and then silently
+	// swallows everything: Sync and Write succeed without doing work,
+	// simulating a process that died with bytes still in flight.
+	FailCrash
+)
+
+// failpointFile wraps the WAL file and injects a fault once the
+// cumulative bytes written reach a chosen offset. Install it via
+// Options.walHook; the same instance keeps counting across WAL
+// rotations, so tests can aim at any absolute byte of the stream.
+type failpointFile struct {
+	mu      sync.Mutex
+	f       wfile
+	mode    int
+	trigger int64 // cumulative-byte offset that arms the fault
+	written int64
+	fired   bool
+}
+
+// newFailpointFile arms a fault of the given mode at cumulative byte
+// offset trigger of all bytes written through the returned wrapper.
+func newFailpointFile(f wfile, mode int, trigger int64) *failpointFile {
+	return &failpointFile{f: f, mode: mode, trigger: trigger}
+}
+
+func (fp *failpointFile) rewrap(f wfile) wfile {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.f = f
+	return fp
+}
+
+func (fp *failpointFile) Write(p []byte) (int, error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired && fp.mode == FailCrash {
+		return len(p), nil // crashed: pretend success, write nothing
+	}
+	if fp.written+int64(len(p)) <= fp.trigger || fp.fired {
+		n, err := fp.f.Write(p)
+		fp.written += int64(n)
+		return n, err
+	}
+	// This write crosses the trigger.
+	fp.fired = true
+	keep := fp.trigger - fp.written
+	if keep < 0 {
+		keep = 0
+	}
+	switch fp.mode {
+	case FailError:
+		return 0, ErrFailpoint
+	case FailShortWrite:
+		n, err := fp.f.Write(p[:keep])
+		fp.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrFailpoint
+	case FailCrash:
+		n, _ := fp.f.Write(p[:keep])
+		fp.written += int64(n)
+		return len(p), nil // lie: caller believes the append landed
+	}
+	return 0, ErrFailpoint
+}
+
+func (fp *failpointFile) Sync() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired && fp.mode == FailCrash {
+		return nil
+	}
+	return fp.f.Sync()
+}
+
+func (fp *failpointFile) Close() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.f.Close()
+}

@@ -134,6 +134,7 @@ func TestAutoCompaction(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		s.Put(fmt.Sprintf("k%d", i%10), []byte{byte(i)})
 	}
+	s.WaitCompaction()
 	if got := s.TableCount(); got > 4 {
 		t.Fatalf("TableCount = %d, auto-compaction did not bound tables", got)
 	}

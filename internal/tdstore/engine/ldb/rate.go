@@ -1,0 +1,49 @@
+package ldb
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a token bucket over bytes: compaction calls wait(n)
+// before each chunk of I/O, which blocks until n tokens are available.
+// The bucket refills at rate bytes/sec with a one-second burst, so a
+// background merge never monopolizes disk bandwidth the WAL append path
+// needs.
+type rateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(bytesPerSec int) *rateLimiter {
+	r := float64(bytesPerSec)
+	return &rateLimiter{rate: r, burst: r, tokens: r, last: time.Now()}
+}
+
+// wait blocks until n bytes of budget are available. A nil limiter is a
+// no-op, so callers need no rate-enabled branch.
+func (l *rateLimiter) wait(n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+		if l.tokens >= float64(n) {
+			l.tokens -= float64(n)
+			l.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - l.tokens
+		l.mu.Unlock()
+		time.Sleep(time.Duration(deficit / l.rate * float64(time.Second)))
+	}
+}

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"tencentrec/internal/stream"
@@ -82,6 +83,11 @@ type TDAccessSpout struct {
 	inflight    int
 	maxInflight int
 
+	// emitted, when set, counts messages this spout emitted — all tasks
+	// of a group share one counter. After a checkpoint restore it reads
+	// as "records replayed past the frontier".
+	emitted *atomic.Int64
+
 	// errBackoff is the current poll-error sleep. It starts at
 	// idleSleep/4 on the first error, doubles per consecutive error up
 	// to 16×idleSleep, and resets on any successful poll — the same
@@ -104,6 +110,10 @@ type TDAccessSpoutConfig struct {
 	PollBatch int
 	// IdleSleep throttles empty polls. Default 2ms.
 	IdleSleep time.Duration
+	// Emitted, when non-nil, is incremented once per message emitted by
+	// any task of this spout. On a run restored from a checkpoint it
+	// measures exactly the tail replayed past the committed frontier.
+	Emitted *atomic.Int64
 }
 
 // NewTDAccessSpout returns the spout factory.
@@ -122,6 +132,7 @@ func NewTDAccessSpout(cfg TDAccessSpoutConfig) stream.SpoutFactory {
 			pollBatch:       cfg.PollBatch,
 			idleSleep:       cfg.IdleSleep,
 			stopWhenDrained: cfg.StopWhenDrained,
+			emitted:         cfg.Emitted,
 		}
 	}
 }
@@ -184,6 +195,9 @@ func (s *TDAccessSpout) NextTuple() bool {
 	if !s.acking {
 		for _, m := range msgs {
 			s.c.Emit(stream.Values{m.Payload, spoutMsgID{m.Partition, m.Offset}.tag()})
+			if s.emitted != nil {
+				s.emitted.Add(1)
+			}
 		}
 		// At-most-once: the in-memory read positions advanced at Poll,
 		// so an emitted batch is never re-read by this consumer whether
@@ -206,6 +220,9 @@ func (s *TDAccessSpout) NextTuple() bool {
 		s.inflight++
 		id := spoutMsgID{m.Partition, m.Offset}
 		s.c.EmitAnchored(id, stream.Values{m.Payload, id.tag()})
+		if s.emitted != nil {
+			s.emitted.Add(1)
+		}
 	}
 	return true
 }

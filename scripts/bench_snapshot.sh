@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
-# and write the results to a JSON snapshot (BENCH_PR7.json by default).
+# and write the results to a JSON snapshot (BENCH_PR8.json by default).
 #
 # Fixed iteration counts (-benchtime=Nx) keep runs comparable across
 # machines and across PRs: the interesting number is ns/op at a known
@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 # Snapshot label derived from the output name (BENCH_PR5.json -> PR5),
 # so rerunning under a different name stays self-describing.
 snap="$(basename "$out" .json)"
@@ -76,6 +76,18 @@ run "engine microbenchmarks (-cpu 1,8)" \
 run "store cluster benchmarks (-cpu 1,8)" \
 	-run=NONE -bench='BenchmarkStoreParallel' \
 	-cpu 1,8 -benchtime=200000x -count=3 ./internal/tdstore/
+
+run "ldb in-memory path (put/get)" \
+	-run=NONE -bench='BenchmarkLDBPut$|BenchmarkLDBGet$' \
+	-benchtime=100000x -count=3 ./internal/tdstore/engine/ldb/
+
+run "ldb durable writes: per-record fsync vs group commit (2000x)" \
+	-run=NONE -bench='BenchmarkLDBPutSyncEachRecord$|BenchmarkLDBPutGroupCommit$' \
+	-benchtime=2000x -count=3 ./internal/tdstore/engine/ldb/
+
+run "ldb cold-start recovery (WAL replay + table load, 50x)" \
+	-run=NONE -bench='BenchmarkLDBRecovery$' \
+	-benchtime=50x -count=3 ./internal/tdstore/engine/ldb/
 
 echo "== writing $out"
 awk -v ncpu="$(nproc 2>/dev/null || echo 1)" -v snap="$snap" '

@@ -22,6 +22,10 @@ go test -race -run 'TestRebalance|TestBurst|TestBackpressure|TestOverflow|TestSt
 echo "== go test -race serving tier (singleflight, TTL, negative cache, hedged reads)"
 go test -race -run 'TestSingleflight|TestCoalesced|TestCache|TestNegativeCache|TestInvalidate|TestLRU|TestGetBatch|TestHedge|TestConcurrentMixedLoad' ./internal/serving/
 
+echo "== go test -race ldb crash recovery (torn WAL, failpoints, crash-reopen conformance, cold restart)"
+go test -race -run 'TestTornWAL|TestFailpoint|TestGroupCommit|TestLDBCrashReopenResumeConformance|TestClusterCheckpointRestore|TestColdRestartChaosSoak' \
+	./internal/tdstore/engine/... ./internal/tdstore/ ./internal/topology/
+
 echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, serving, obsv)"
 go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/serving/ ./internal/obsv/
 

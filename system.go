@@ -20,16 +20,41 @@ import (
 	"tencentrec/internal/topology"
 )
 
+// consumerGroup is the topology's TDAccess consumer group; checkpoint
+// manifests anchor to its committed offsets.
+const consumerGroup = "tencentrec"
+
+// defaultGroupCommit is the WAL group-commit interval used when
+// StoreSyncWrites is on: one fsync per interval covers every record
+// appended during it.
+const defaultGroupCommit = 2 * time.Millisecond
+
 // storeEngineFactory maps a StoreEngine name to a per-instance engine
 // constructor. Durable engines get one directory per (server, instance)
-// so replicas never share files.
-func storeEngineFactory(name, dir string) (func(string, tdstore.InstanceID) (engine.Engine, error), error) {
+// so replicas never share files. When restore is non-empty it names a
+// checkpoint directory: each instance directory is wiped and re-seeded
+// from the snapshot before its engine opens (LDB only — the other
+// engines have no snapshot format).
+func storeEngineFactory(name, dir string, syncWrites bool, restore string) (func(string, tdstore.InstanceID) (engine.Engine, error), error) {
+	if restore != "" && name != "ldb" {
+		return nil, fmt.Errorf("tencentrec: checkpoint restore requires the ldb store engine, not %q", name)
+	}
 	switch name {
 	case "", "mdb":
 		return nil, nil // cluster default: in-memory MDB
 	case "ldb":
+		opts := ldb.Options{SyncWrites: syncWrites}
+		if syncWrites {
+			opts.SyncInterval = defaultGroupCommit
+		}
 		return func(serverID string, inst tdstore.InstanceID) (engine.Engine, error) {
-			return ldb.Open(filepath.Join(dir, serverID, fmt.Sprintf("inst-%d", inst)), ldb.Options{})
+			instDir := filepath.Join(dir, serverID, fmt.Sprintf("inst-%d", inst))
+			if restore != "" {
+				if err := tdstore.SeedInstanceDir(restore, int(inst), instDir); err != nil {
+					return nil, err
+				}
+			}
+			return ldb.Open(instDir, opts)
 		}, nil
 	case "fdb":
 		return func(serverID string, inst tdstore.InstanceID) (engine.Engine, error) {
@@ -54,8 +79,24 @@ type SystemConfig struct {
 	StoreServers, StoreInstances, StoreReplicas int
 	// StoreEngine selects the TDStore storage engine: "mdb" (in-memory,
 	// default), "ldb" (log-structured, durable) or "fdb" (file buckets,
-	// durable). Durable engines persist under DataDir/tdstore.
+	// durable). Durable engines persist under StoreDir.
 	StoreEngine string
+	// StoreDir roots the durable engines' files. Default DataDir/tdstore.
+	StoreDir string
+	// StoreSyncWrites fsyncs the LDB write-ahead log via group commit
+	// (batched fsyncs, one per ~2ms covering every record in the window),
+	// surviving power loss rather than just process crashes.
+	StoreSyncWrites bool
+	// CheckpointDir is where System.Checkpoint writes offset-anchored
+	// store snapshots and where RestoreFromCheckpoint reads them.
+	// Default DataDir/checkpoint.
+	CheckpointDir string
+	// RestoreFromCheckpoint cold-starts the store from CheckpointDir:
+	// instance directories are wiped and re-seeded from the snapshot, the
+	// consumer group's committed offsets are replanted from the manifest,
+	// and the topology replays only the tail past them. Requires the ldb
+	// engine and a committed checkpoint.
+	RestoreFromCheckpoint bool
 	// Params configures the algorithms. Zero value uses defaults.
 	Params Params
 	// Features selects the algorithm chains. Zero value enables CF
@@ -121,6 +162,12 @@ func (c SystemConfig) withDefaults() SystemConfig {
 	if !c.Features.CF && !c.Features.AR && !c.Features.CB && !c.Features.Ctr {
 		c.Features.CF = true
 	}
+	if c.StoreDir == "" {
+		c.StoreDir = filepath.Join(c.DataDir, "tdstore")
+	}
+	if c.CheckpointDir == "" {
+		c.CheckpointDir = filepath.Join(c.DataDir, "checkpoint")
+	}
 	return c
 }
 
@@ -141,6 +188,10 @@ type System struct {
 	tracer   *obsv.Tracer // nil when TraceEvery < 0
 
 	published atomic.Int64
+	// replayed counts spout emissions this run. After a checkpoint
+	// restore it is exactly the replayed tail
+	// (tencentrec_replayed_tail_records).
+	replayed *atomic.Int64
 }
 
 // Open builds and starts a System. The topology runs until Close.
@@ -153,7 +204,26 @@ func Open(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tencentrec: open broker: %w", err)
 	}
-	engineFactory, err := storeEngineFactory(c.StoreEngine, filepath.Join(c.DataDir, "tdstore"))
+	// A cold restart reads the checkpoint manifest first: the store is
+	// re-seeded from the snapshot and the broker's committed offsets are
+	// replanted from the frontier, so the spout replays only the tail.
+	var manifest *tdstore.CheckpointManifest
+	restoreDir := ""
+	if c.RestoreFromCheckpoint {
+		m, err := tdstore.LoadCheckpoint(c.CheckpointDir)
+		if err != nil {
+			broker.Close()
+			return nil, fmt.Errorf("tencentrec: restore: %w", err)
+		}
+		if m.Instances != c.StoreInstances {
+			broker.Close()
+			return nil, fmt.Errorf("tencentrec: restore: checkpoint has %d instances, config %d",
+				m.Instances, c.StoreInstances)
+		}
+		manifest = m
+		restoreDir = c.CheckpointDir
+	}
+	engineFactory, err := storeEngineFactory(c.StoreEngine, c.StoreDir, c.StoreSyncWrites, restoreDir)
 	if err != nil {
 		broker.Close()
 		return nil, err
@@ -168,6 +238,15 @@ func Open(cfg SystemConfig) (*System, error) {
 		broker.Close()
 		return nil, fmt.Errorf("tencentrec: open store: %w", err)
 	}
+	if manifest != nil {
+		for _, fe := range manifest.Frontier {
+			if err := broker.SeedCommittedOffsets(fe.Group, fe.Topic, fe.Offsets); err != nil {
+				broker.Close()
+				cluster.Close()
+				return nil, fmt.Errorf("tencentrec: restore offsets: %w", err)
+			}
+		}
+	}
 	client, err := cluster.NewClient()
 	if err != nil {
 		broker.Close()
@@ -180,14 +259,22 @@ func Open(cfg SystemConfig) (*System, error) {
 	registry := obsv.NewRegistry()
 	client.Instrument(registry)
 	broker.Instrument(registry)
+	cluster.Instrument(registry)
+	replayed := new(atomic.Int64)
+	if manifest != nil {
+		registry.GaugeFunc("tencentrec_replayed_tail_records",
+			"Records replayed past the checkpoint frontier on this cold start.",
+			replayed.Load)
+	}
 	var tracer *obsv.Tracer
 	if c.TraceEvery >= 0 {
 		tracer = obsv.NewTracer(c.TraceEvery, obsv.DefaultTraceRing)
 	}
 	spout := topology.NewTDAccessSpout(topology.TDAccessSpoutConfig{
-		Broker: broker,
-		Topic:  c.Topic,
-		Group:  "tencentrec",
+		Broker:  broker,
+		Topic:   c.Topic,
+		Group:   consumerGroup,
+		Emitted: replayed,
 	})
 	tb := topology.NewBuilder("tencentrec", spout, client, c.Params).
 		WithFeatures(c.Features).
@@ -237,10 +324,40 @@ func Open(cfg SystemConfig) (*System, error) {
 		reader:   reader,
 		registry: registry,
 		tracer:   tracer,
+		replayed: replayed,
 	}
 	s.running = topo.Submit()
 	return s, nil
 }
+
+// Checkpoint drains the pipeline and writes an offset-anchored store
+// snapshot to CheckpointDir: every instance's engine state plus the
+// consumer group's committed offsets at the quiesce point. A later Open
+// with RestoreFromCheckpoint cold-starts from it and replays only the
+// records published after the frontier. Requires a snapshot-capable
+// store engine (ldb).
+func (s *System) Checkpoint(timeout time.Duration) error {
+	if err := s.Drain(timeout); err != nil {
+		return err
+	}
+	parts := s.broker.TopicPartitions(s.cfg.Topic)
+	offsets := make([]int64, parts)
+	for p := 0; p < parts; p++ {
+		off, err := s.broker.CommittedOffset(consumerGroup, s.cfg.Topic, p)
+		if err != nil {
+			return fmt.Errorf("tencentrec: checkpoint frontier: %w", err)
+		}
+		offsets[p] = off
+	}
+	return s.cluster.Checkpoint(s.cfg.CheckpointDir, []tdstore.FrontierEntry{
+		{Group: consumerGroup, Topic: s.cfg.Topic, Offsets: offsets},
+	})
+}
+
+// ReplayedTailRecords reports how many records the spout has consumed
+// this run. On a system opened with RestoreFromCheckpoint this is the
+// tail replayed past the checkpoint frontier.
+func (s *System) ReplayedTailRecords() int64 { return s.replayed.Load() }
 
 // Publish sends one action into the pipeline, keyed by user so per-user
 // order is preserved.

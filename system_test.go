@@ -228,6 +228,67 @@ func TestSystemWithDurableEngines(t *testing.T) {
 	}
 }
 
+func TestSystemCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SystemConfig{
+		DataDir:     dir,
+		StoreEngine: "ldb",
+		Params:      Params{FlushInterval: 20 * time.Millisecond},
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishCluster(t, s)
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Cold restart over the same data directory: the store restores the
+	// snapshot and the spout resumes from the checkpointed frontier, so
+	// only post-checkpoint records replay.
+	cfg.RestoreFromCheckpoint = true
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Publish(RawAction{User: "newcomer", Item: "video-A", Action: "play", TS: t0.Add(time.Hour).UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.ReplayedTailRecords(); n < 1 || n > 64 {
+		t.Errorf("ReplayedTailRecords = %d, want just the tail (not a full replay of the stream)", n)
+	}
+	// Pre-checkpoint state survived without the log being re-consumed …
+	sims, err := s2.SimilarItems("video-A", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) == 0 || sims[0].Item != "video-B" {
+		t.Fatalf("after restore SimilarItems(video-A) = %v, want video-B first", sims)
+	}
+	// … and the tail record was applied on top of it.
+	recs, err := s2.RecommendAt("newcomer", t0.Add(time.Hour+time.Minute), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Item != "video-B" {
+		t.Fatalf("after restore Recommend(newcomer) = %v, want video-B first", recs)
+	}
+
+	// Restore requires the durable engine.
+	if _, err := Open(SystemConfig{DataDir: dir, StoreEngine: "mdb", RestoreFromCheckpoint: true}); err == nil {
+		t.Fatal("restore with mdb engine accepted")
+	}
+}
+
 func TestSystemARChain(t *testing.T) {
 	s, err := Open(SystemConfig{
 		DataDir:  t.TempDir(),
