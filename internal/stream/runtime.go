@@ -1078,6 +1078,49 @@ func (h *RunningTopology) OverflowStats() (spilled, drained int64) {
 	return h.rt.ovf.spilledBatches.Load(), h.rt.ovf.drainedBatches.Load()
 }
 
+// Quiesce parks every spout, drains all in-flight tuples, tick-flushes
+// combiner bolts downstream, runs fn while the pipeline is frozen, and
+// resumes polling when fn returns. While fn runs no spout polls or
+// commits and no tuple is queued or executing, so external state written
+// by the bolts is exact with respect to the spouts' consumed input —
+// the consistency point a checkpoint needs to capture store state and
+// consumer offsets together. Serialized with Rebalance and shutdown;
+// fn's error is returned verbatim.
+func (h *RunningTopology) Quiesce(fn func() error) error {
+	rt := h.rt
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+	if rt.closed {
+		return fmt.Errorf("stream: topology already shut down")
+	}
+	rt.paused.Store(true)
+	defer rt.paused.Store(false)
+	for rt.pausedSpouts.Load() < rt.activeSpouts.Load() {
+		time.Sleep(50 * time.Microsecond)
+	}
+	rt.waitQuiescent()
+	// Push buffered combiner aggregates downstream with regular ticks (no
+	// "final" marker — the bolts keep running), in topological order so a
+	// flush cascades through downstream combiners before theirs fires.
+	byName := make(map[string]*boltDecl, len(rt.topo.bolts))
+	for _, b := range rt.topo.bolts {
+		byName[b.name] = b
+	}
+	for _, name := range rt.topo.order {
+		decl := byName[name]
+		if decl == nil || decl.tick <= 0 {
+			continue
+		}
+		batch := []*Tuple{{Component: name, Stream: TickStream}}
+		for _, tk := range rt.taskList(name) {
+			rt.pending.Add(1)
+			tk.in <- batch
+		}
+		rt.waitQuiescent()
+	}
+	return fn()
+}
+
 // rebalance retargets one bolt to n fresh tasks without losing or
 // double-processing a single in-flight tuple:
 //

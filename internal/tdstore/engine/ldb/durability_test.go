@@ -201,6 +201,75 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	}
 }
 
+// TestGroupCommitFlushPreservesParkedWriters reproduces the group-commit
+// durability hole: a writer parked for the group fsync has its record in
+// the WAL but a concurrent flush rotates that WAL away and releases the
+// writer as durable. The record must be in the flushed (fsynced) table by
+// then — a crash right after the acknowledgement must not lose it.
+func TestGroupCommitFlushPreservesParkedWriters(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the memtable through WAL replay so the flush below has
+	// something to write even before the parked record is applied.
+	seed, err := Open(dir, Options{FlushThreshold: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put("other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+	// SyncInterval of an hour: the group-sync daemon never fires, so only
+	// the flush's rotation can release the parked writer.
+	s, err := Open(dir, Options{
+		FlushThreshold: 1 << 20,
+		SyncWrites:     true,
+		SyncInterval:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Put("parked", []byte("v")) }()
+	// Wait until the record is appended and the writer is parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		appended := s.walSeq >= 1
+		s.mu.Unlock()
+		if appended {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never appended its record")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("parked put: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush did not release the parked writer")
+	}
+	// The writer was acknowledged as durable; crash and verify.
+	s.Crash()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok, err := s2.Get("parked"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("acknowledged group-commit write lost by flush rotation: %q %v %v", v, ok, err)
+	}
+	if v, ok, err := s2.Get("other"); err != nil || !ok || string(v) != "x" {
+		t.Fatalf("seed record lost: %q %v %v", v, ok, err)
+	}
+}
+
 // TestFailpointErrorRetries injects a clean write error mid-stream: the
 // failing Put must report it, and because the WAL is repaired to the
 // last record boundary, a retry must succeed and everything must survive

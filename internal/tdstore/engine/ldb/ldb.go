@@ -60,6 +60,20 @@ const (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("ldb: store is closed")
 
+// errCorrupt marks a structurally invalid record — the shapes a torn or
+// partially written tail produces (bad CRC, absurd lengths) — as opposed
+// to an I/O failure reading an otherwise intact file.
+var errCorrupt = errors.New("ldb: corrupt record")
+
+// isTornTail reports whether a readRecord error is one a crash
+// mid-append can produce: the record cut short by end-of-file or left
+// structurally invalid. I/O errors (a failing disk mid-file) are not
+// torn tails — truncating on them would silently discard valid records
+// beyond the fault.
+func isTornTail(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errCorrupt)
+}
+
 // wfile is the WAL file contract. It is an interface so tests can
 // interpose a failpoint wrapper (failpoint.go) between the store and the
 // OS and inject errors, short writes, or a simulated crash at a chosen
@@ -366,6 +380,13 @@ func (s *Store) replayWAL() error {
 			break
 		}
 		if err != nil {
+			// Only the shapes a crash mid-append produces are repaired by
+			// truncation; a genuine read failure (disk I/O error) must
+			// surface, not silently discard the records after it.
+			if !isTornTail(err) {
+				f.Close()
+				return fmt.Errorf("ldb: read wal at offset %d: %w", off, err)
+			}
 			torn = true
 			break
 		}
@@ -481,7 +502,7 @@ func readRecord(r *bufio.Reader) (record, int, error) {
 		return record{}, 0, fmt.Errorf("read vlen: %w", err)
 	}
 	if klen > maxRecord || vlen > maxRecord {
-		return record{}, 0, fmt.Errorf("record too large (klen=%d vlen=%d)", klen, vlen)
+		return record{}, 0, fmt.Errorf("%w: record too large (klen=%d vlen=%d)", errCorrupt, klen, vlen)
 	}
 	key := make([]byte, klen)
 	if _, err := io.ReadFull(r, key); err != nil {
@@ -494,7 +515,7 @@ func readRecord(r *bufio.Reader) (record, int, error) {
 	}
 	crc.Write(value)
 	if crc.Sum32() != want {
-		return record{}, 0, fmt.Errorf("crc mismatch")
+		return record{}, 0, fmt.Errorf("%w: crc mismatch", errCorrupt)
 	}
 	hdrLen := 1 + uvarintLen(klen) + uvarintLen(vlen)
 	total := 4 + hdrLen + int(klen) + int(vlen)
@@ -517,7 +538,7 @@ func readUvarintCRC(r *bufio.Reader, crc io.Writer) (uint64, error) {
 		x |= uint64(b&0x7f) << s
 		s += 7
 	}
-	return 0, fmt.Errorf("uvarint overflows 64 bits")
+	return 0, fmt.Errorf("%w: uvarint overflows 64 bits", errCorrupt)
 }
 
 func uvarintLen(v uint64) int {
@@ -626,9 +647,20 @@ func (s *Store) write(rec record) error {
 	s.walOff += int64(n)
 	s.st.walBytes += int64(n)
 	s.walSeq++
+	seq := s.walSeq
+	// Apply to the memtable before any durability wait. A writer parked
+	// for the group fsync releases s.mu, so a flush can run underneath it;
+	// the flush rotates the WAL away and releases parked writers as
+	// durable, which is only true if the flushed table carried their
+	// records — i.e. if every appended record is already in the memtable.
+	if rec.tomb {
+		s.mem[string(rec.key)] = entry{tomb: true}
+	} else {
+		s.mem[string(rec.key)] = entry{value: rec.value}
+	}
 	if s.opts.SyncWrites {
 		if s.opts.SyncInterval > 0 {
-			if err := s.waitGroupSyncLocked(s.walSeq); err != nil {
+			if err := s.waitGroupSyncLocked(seq); err != nil {
 				return err
 			}
 		} else {
@@ -636,18 +668,13 @@ func (s *Store) write(rec record) error {
 				return fmt.Errorf("ldb: wal sync: %w", err)
 			}
 			s.st.fsyncs++
-			s.syncedSeq = s.walSeq
+			s.syncedSeq = seq
 		}
 	}
 	if s.closed {
 		// Closed while parked for the group fsync; the record is durable
-		// (Close syncs before setting the flag) but the memtable is gone.
+		// (Close syncs before setting the flag) and already applied.
 		return nil
-	}
-	if rec.tomb {
-		s.mem[string(rec.key)] = entry{tomb: true}
-	} else {
-		s.mem[string(rec.key)] = entry{value: rec.value}
 	}
 	if len(s.mem) >= s.opts.FlushThreshold {
 		if err := s.flushLocked(); err != nil {
@@ -855,7 +882,10 @@ func (s *Store) compactOnce() error {
 	// nothing below the oldest table for one to shadow).
 	var ioBytes int64
 	live := make(map[string][]byte)
-	order := make([]string, 0, len(live))
+	seen := make(map[string]bool) // keys already in order: a key deleted
+	// from live by a tombstone and re-added by a later table must not be
+	// appended twice, or the merged table carries duplicate records.
+	var order []string
 	for _, t := range inputs { // oldest first, so later tables overwrite
 		if s.stopping() {
 			return nil
@@ -871,7 +901,8 @@ func (s *Store) compactOnce() error {
 				return fmt.Errorf("ldb: compact read %s: %w", t.path, err)
 			}
 			ioBytes += int64(te.length)
-			if _, ok := live[k]; !ok {
+			if !seen[k] {
+				seen[k] = true
 				order = append(order, k)
 			}
 			live[k] = v

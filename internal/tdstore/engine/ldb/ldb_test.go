@@ -1,7 +1,9 @@
 package ldb
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -122,6 +124,59 @@ func TestCompactMergesAndDropsTombstones(t *testing.T) {
 	n2, _ := s2.Len()
 	if n2 != 32 {
 		t.Fatalf("Len after compact+reopen = %d, want 32", n2)
+	}
+}
+
+// TestCompactNoDuplicateRecords covers the write → tombstone → re-write
+// key history across three tables: the merge must emit the key exactly
+// once (re-adding it after the tombstone removed it from the live set
+// must not append it to the output order a second time).
+func TestCompactNoDuplicateRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushThreshold: 1 << 20, MaxTables: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("v1"))
+	s.Flush()
+	s.Delete("k")
+	s.Flush()
+	s.Put("k", []byte("v2"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TableCount(); got != 1 {
+		t.Fatalf("TableCount after compact = %d, want 1", got)
+	}
+	if v, ok, err := s.Get("k"); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get(k) = %q %v %v, want v2", v, ok, err)
+	}
+	s.tableMu.RLock()
+	path := s.tables[0].path
+	s.tableMu.RUnlock()
+	s.Close()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	recs := 0
+	for {
+		rec, _, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("merged table corrupt: %v", err)
+		}
+		if string(rec.key) != "k" {
+			t.Fatalf("unexpected key %q in merged table", rec.key)
+		}
+		recs++
+	}
+	if recs != 1 {
+		t.Fatalf("merged table carries %d records for one live key, want 1", recs)
 	}
 }
 

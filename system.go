@@ -340,17 +340,26 @@ func (s *System) Checkpoint(timeout time.Duration) error {
 	if err := s.Drain(timeout); err != nil {
 		return err
 	}
-	parts := s.broker.TopicPartitions(s.cfg.Topic)
-	offsets := make([]int64, parts)
-	for p := 0; p < parts; p++ {
-		off, err := s.broker.CommittedOffset(consumerGroup, s.cfg.Topic, p)
-		if err != nil {
-			return fmt.Errorf("tencentrec: checkpoint frontier: %w", err)
+	// Drain alone does not stop the spout: a record consumed after the
+	// frontier read but before the engine snapshot would land in the
+	// snapshot yet above the frontier, so a restore would replay and
+	// double-apply it. Quiesce parks the spouts and drains in-flight
+	// tuples for the duration, so the frontier and the engine state are
+	// captured at one consistent point; actions published meanwhile stay
+	// in the broker above the frontier and replay cleanly.
+	return s.running.Quiesce(func() error {
+		parts := s.broker.TopicPartitions(s.cfg.Topic)
+		offsets := make([]int64, parts)
+		for p := 0; p < parts; p++ {
+			off, err := s.broker.CommittedOffset(consumerGroup, s.cfg.Topic, p)
+			if err != nil {
+				return fmt.Errorf("tencentrec: checkpoint frontier: %w", err)
+			}
+			offsets[p] = off
 		}
-		offsets[p] = off
-	}
-	return s.cluster.Checkpoint(s.cfg.CheckpointDir, []tdstore.FrontierEntry{
-		{Group: consumerGroup, Topic: s.cfg.Topic, Offsets: offsets},
+		return s.cluster.Checkpoint(s.cfg.CheckpointDir, []tdstore.FrontierEntry{
+			{Group: consumerGroup, Topic: s.cfg.Topic, Offsets: offsets},
+		})
 	})
 }
 
