@@ -27,6 +27,15 @@ type BatchStore interface {
 // Cache is an LRU key-value cache in front of a Store.
 // It is not safe for concurrent use; each pipeline task owns one,
 // which is exactly the single-writer discipline §5.2 relies on.
+//
+// Value ownership (the one-copy-per-read contract): a hit returns the
+// cache-owned slice with no copy — the read path's single copy is the
+// one the backing store makes when a miss fills the entry. The owning
+// task may therefore mutate a returned slice in place only if it is the
+// key's single writer and immediately Puts the key back (keeping the
+// entry's slice header current); values must never escape to another
+// goroutine or outlive the next write to the key. Put stores the
+// caller's slice as-is and never copies.
 type Cache struct {
 	store    Store
 	capacity int

@@ -81,6 +81,18 @@ func (c *Combiner) Drain() map[string]float64 {
 	return out
 }
 
+// FlushInto copies the buffered (key, merged value) pairs into dst and
+// clears the buffer — Drain without surrendering the map, for callers
+// that reuse one destination map across intervals.
+func (c *Combiner) FlushInto(dst map[string]float64) int {
+	n := len(c.buf)
+	for k, v := range c.buf {
+		dst[k] = v
+	}
+	clear(c.buf)
+	return n
+}
+
 // Stats reports how many updates were offered and how many were merged
 // away (never reached the store). MergeRatio = merged/offered.
 func (c *Combiner) Stats() (offered, merged int64) { return c.offered, c.merged }

@@ -75,15 +75,7 @@ func (cf *ItemCF) Recommend(user string, now time.Time, opts RecommendOptions) [
 		}
 		out = append(out, ScoredItem{Item: item, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > opts.N {
-		out = out[:opts.N]
-	}
+	out = TopNScored(out, opts.N)
 
 	// Demographic complement: "if the algorithm cannot produce efficient
 	// recommendations in this way ... we use the real-time DB algorithm
@@ -195,16 +187,7 @@ func (m *Model) Recommend(history map[string]float64, opts RecommendOptions) []S
 		}
 		out = append(out, ScoredItem{Item: item, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > opts.N {
-		out = out[:opts.N]
-	}
-	return out
+	return TopNScored(out, opts.N)
 }
 
 // ItemCount reports the number of items with a similar-items list.

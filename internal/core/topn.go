@@ -1,0 +1,76 @@
+package core
+
+import "sort"
+
+// scoredBefore is the ranking order shared by every recommendation
+// surface: score descending, item ascending on ties.
+func scoredBefore(a, b ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Item < b.Item
+}
+
+// TopNScored returns the n best-ranked items (score descending, item
+// ascending on ties) — exactly what sorting the whole slice and
+// truncating would produce, in O(len·log n) instead of O(len·log len).
+// The input slice is reordered in place and the result aliases its
+// front; callers that need the original order must copy first.
+func TopNScored(items []ScoredItem, n int) []ScoredItem {
+	if n <= 0 {
+		return items[:0]
+	}
+	if len(items) <= n {
+		sortScoredDesc(items)
+		return items
+	}
+	// Selection via a min-heap over the first n slots: the root is the
+	// worst-ranked member, replaced whenever a later candidate beats it.
+	h := items[:n]
+	for i := n/2 - 1; i >= 0; i-- {
+		siftWeakest(h, i)
+	}
+	for _, s := range items[n:] {
+		if scoredBefore(s, h[0]) {
+			h[0] = s
+			siftWeakest(h, 0)
+		}
+	}
+	sortScoredDesc(h)
+	return h
+}
+
+// siftWeakest restores the "parent ranks no better than its children"
+// invariant below i, keeping the worst-ranked element at the root.
+func siftWeakest(h []ScoredItem, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		w := l
+		if r := l + 1; r < len(h) && scoredBefore(h[l], h[r]) {
+			w = r
+		}
+		if !scoredBefore(h[i], h[w]) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}
+
+// sortScoredDesc orders items by rank. Small slices (the common top-N
+// result sizes) use an allocation-free insertion sort; larger ones
+// defer to sort.Slice.
+func sortScoredDesc(items []ScoredItem) {
+	if len(items) <= 64 {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && scoredBefore(items[j], items[j-1]); j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+		return
+	}
+	sort.Slice(items, func(i, j int) bool { return scoredBefore(items[i], items[j]) })
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTopNScoredMatchesSort pins the partial-select against the
+// reference it replaced: sort the whole slice, truncate to n.
+func TestTopNScoredMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		size := rng.Intn(120)
+		items := make([]ScoredItem, size)
+		for i := range items {
+			// Few distinct scores so ties are frequent.
+			items[i] = ScoredItem{
+				Item:  "it-" + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))),
+				Score: float64(rng.Intn(8)),
+			}
+		}
+		n := rng.Intn(size + 3)
+
+		ref := append([]ScoredItem(nil), items...)
+		sort.Slice(ref, func(i, j int) bool { return scoredBefore(ref[i], ref[j]) })
+		if n < len(ref) {
+			ref = ref[:n]
+		}
+
+		got := TopNScored(append([]ScoredItem(nil), items...), n)
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d (size=%d n=%d): len=%d want %d", trial, size, n, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d (size=%d n=%d) pos %d: got %v want %v\nfull got %v\nfull want %v",
+					trial, size, n, i, got[i], ref[i], got, ref)
+			}
+		}
+	}
+}
+
+func TestTopNScoredEdgeCases(t *testing.T) {
+	if got := TopNScored(nil, 5); len(got) != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+	items := []ScoredItem{{Item: "a", Score: 1}, {Item: "b", Score: 2}}
+	if got := TopNScored(items, 0); len(got) != 0 {
+		t.Fatalf("n=0: %v", got)
+	}
+	if got := TopNScored(items, -1); len(got) != 0 {
+		t.Fatalf("n=-1: %v", got)
+	}
+}
+
+// TestTopNScoredZeroAlloc is the zero-alloc gate for the serving-path
+// partial select: selection happens in place with no heap allocation.
+func TestTopNScoredZeroAlloc(t *testing.T) {
+	src := make([]ScoredItem, 200)
+	work := make([]ScoredItem, len(src))
+	for i := range src {
+		src[i] = ScoredItem{Item: "item", Score: float64((i * 37) % 101)}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(work, src)
+		if got := TopNScored(work, 20); len(got) != 20 {
+			t.Fatal("wrong len")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TopNScored: %v allocs/op, want 0", allocs)
+	}
+}
+
+func benchScored(n int) []ScoredItem {
+	rng := rand.New(rand.NewSource(11))
+	items := make([]ScoredItem, n)
+	for i := range items {
+		items[i] = ScoredItem{Item: "item-" + string(rune('a'+i%26)), Score: rng.Float64()}
+	}
+	return items
+}
+
+func BenchmarkTopNHeap(b *testing.B) {
+	src := benchScored(1000)
+	work := make([]ScoredItem, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		TopNScored(work, 20)
+	}
+}
+
+func BenchmarkTopNSort(b *testing.B) {
+	src := benchScored(1000)
+	work := make([]ScoredItem, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		sort.Slice(work, func(i, j int) bool { return scoredBefore(work[i], work[j]) })
+		_ = work[:20]
+	}
+}

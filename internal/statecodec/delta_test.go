@@ -1,0 +1,397 @@
+package statecodec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tencentrec/internal/core"
+)
+
+// refMergeList is the reference semantics the delta path must match
+// byte-for-byte: the decode→mutate→re-encode pipeline used before
+// MergeListEntry existed (mirrors topology.updateStoredList).
+func refMergeList(l List, item string, score float64, k int) (List, float64) {
+	for i, sc := range l {
+		if sc.Item == item {
+			l = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	if score > 0 {
+		pos := len(l)
+		for i, sc := range l {
+			if score > sc.Score {
+				pos = i
+				break
+			}
+		}
+		l = append(l, core.ScoredItem{})
+		copy(l[pos+1:], l[pos:])
+		l[pos] = core.ScoredItem{Item: item, Score: score}
+		if len(l) > k {
+			l = l[:k]
+		}
+	}
+	threshold := 0.0
+	if len(l) >= k && k > 0 {
+		threshold = l[len(l)-1].Score
+	}
+	return l, threshold
+}
+
+func histEqual(a, b History) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeListEntryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := []string{"a", "b", "c", "dd", "eee", "ffff", "g", "hh", "iii", "jjjj", "k1", "k2"}
+	for trial := 0; trial < 400; trial++ {
+		k := rng.Intn(6) // 0..5; k=0 truncates to empty, matching updateStoredList
+		buf := EncodeList(nil)
+		var ref List
+		for op := 0; op < 30; op++ {
+			item := items[rng.Intn(len(items))]
+			score := 0.0
+			switch rng.Intn(5) {
+			case 0: // removal (non-positive score)
+				score = 0
+			case 1: // duplicate scores to exercise tie ordering
+				score = 0.5
+			default:
+				score = math.Round(rng.Float64()*1000) / 1000
+			}
+			out, thr, ok := MergeListEntry(buf, item, score, k)
+			var refThr float64
+			ref, refThr = refMergeList(ref, item, score, k)
+			want := EncodeList(ref)
+			if !ok {
+				// Fast path declined: buffer must be unchanged, and the
+				// caller re-encodes via the reference path.
+				buf = want
+				continue
+			}
+			buf = out
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("trial %d op %d (item=%q score=%v k=%d): merge bytes diverge\n got %x\nwant %x",
+					trial, op, item, score, k, buf, want)
+			}
+			if thr != refThr {
+				t.Fatalf("trial %d op %d: threshold = %v, want %v", trial, op, thr, refThr)
+			}
+		}
+	}
+}
+
+func TestMergeListEntryDeclines(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'x'}, maxMergeItem+1))
+	buf := EncodeList(List{{Item: "a", Score: 1}})
+	orig := append([]byte(nil), buf...)
+	if _, _, ok := MergeListEntry(buf, long, 2, 5); ok {
+		t.Fatal("expected decline for oversized item")
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("declined merge mutated the buffer")
+	}
+	if _, _, ok := MergeListEntry(buf, "b", 2, -1); ok {
+		t.Fatal("expected decline for negative k")
+	}
+	if _, _, ok := MergeListEntry([]byte(`{"legacy":"json"}`), "b", 2, 5); ok {
+		t.Fatal("expected decline for legacy encoding")
+	}
+	// n would exceed the single-byte count window.
+	big := make(List, maxFastEntries)
+	for i := range big {
+		big[i] = core.ScoredItem{Item: string(rune('a'+i%26)) + string(rune('a'+i/26)), Score: float64(1000 - i)}
+	}
+	bbuf := EncodeList(big)
+	if _, _, ok := MergeListEntry(bbuf, "zz", 2000, 0); ok {
+		t.Fatal("expected decline when count would exceed the fast window")
+	}
+}
+
+func TestHistoryDeltaEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	items := []string{"i1", "i2", "i3", "longitemname4", "i5", "i6", "i7", "i8"}
+	for trial := 0; trial < 300; trial++ {
+		buf := EncodeHistory(nil)
+		ref := History{}
+		for op := 0; op < 40; op++ {
+			item := items[rng.Intn(len(items))]
+			r := Rating{
+				Rating:  math.Round(rng.Float64()*100) / 100,
+				TS:      rng.Int63n(1 << 40),
+				Session: rng.Int63n(1 << 20),
+			}
+			out, ok := UpsertHistoryEntry(buf, item, r)
+			if !ok {
+				t.Fatalf("trial %d op %d: unexpected upsert decline at %d entries", trial, op, len(ref))
+			}
+			buf = out
+			ref[item] = r
+
+			got, err := DecodeHistory(buf)
+			if err != nil {
+				t.Fatalf("trial %d op %d: decode after upsert: %v", trial, op, err)
+			}
+			if !histEqual(got, ref) {
+				t.Fatalf("trial %d op %d: decoded history diverges\n got %v\nwant %v", trial, op, got, ref)
+			}
+
+			if fr, found, ok := FindHistoryEntry(buf, item); !ok || !found || fr != r {
+				t.Fatalf("trial %d op %d: FindHistoryEntry = (%v,%v,%v), want (%v,true,true)",
+					trial, op, fr, found, ok, r)
+			}
+			if n, ok := HistoryLen(buf); !ok || n != len(ref) {
+				t.Fatalf("trial %d op %d: HistoryLen = (%d,%v), want (%d,true)", trial, op, n, ok, len(ref))
+			}
+		}
+	}
+}
+
+func TestEvictOldestHistoryEntry(t *testing.T) {
+	buf := EncodeHistory(nil)
+	entries := []struct {
+		item string
+		ts   int64
+	}{{"a", 50}, {"b", 10}, {"c", 30}, {"d", 20}}
+	for _, e := range entries {
+		var ok bool
+		buf, ok = AppendHistoryEntry(buf, e.item, Rating{Rating: 1, TS: e.ts, Session: 1})
+		if !ok {
+			t.Fatalf("append %q declined", e.item)
+		}
+	}
+	// Evict mutates in place: work on copies so each case sees the
+	// original bytes.
+	orig := append([]byte(nil), buf...)
+
+	// Oldest is b(10); with keep="b" the oldest evictable is d(20).
+	out, ok := EvictOldestHistoryEntry(append([]byte(nil), orig...), "b")
+	if !ok {
+		t.Fatal("evict declined")
+	}
+	got, err := DecodeHistory(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, has := got["d"]; has {
+		t.Fatalf("expected d evicted, have %v", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("expected 3 entries after evict, have %v", got)
+	}
+	// Without keep protection the true oldest goes.
+	out2, ok := EvictOldestHistoryEntry(append([]byte(nil), orig...), "")
+	if !ok {
+		t.Fatal("evict declined")
+	}
+	got2, _ := DecodeHistory(out2)
+	if _, has := got2["b"]; has {
+		t.Fatalf("expected b evicted, have %v", got2)
+	}
+}
+
+func TestHistoryCountWidthBoundary(t *testing.T) {
+	// Build a history with exactly 127 entries: the count uvarint is one
+	// byte, and appending the 128th crosses to a two-byte count. The
+	// width-preserving fast path must decline rather than corrupt.
+	buf := EncodeHistory(nil)
+	for i := 0; i < 127; i++ {
+		var ok bool
+		buf, ok = AppendHistoryEntry(buf, benchItemID(i), Rating{Rating: 1, TS: int64(i), Session: 1})
+		if !ok {
+			t.Fatalf("append %d declined", i)
+		}
+	}
+	orig := append([]byte(nil), buf...)
+	if out, ok := AppendHistoryEntry(buf, "boundary", Rating{Rating: 1, TS: 1, Session: 1}); ok {
+		// Count widths 1→2 may be supported; if so the result must decode.
+		if n, _ := HistoryLen(out); n != 128 {
+			t.Fatalf("append across boundary: len=%d", n)
+		}
+	} else if !bytes.Equal(buf, orig) {
+		t.Fatal("declined append mutated the buffer")
+	}
+
+	// Two-byte counts (128..16383) must keep working in place.
+	h := History{}
+	for i := 0; i < 200; i++ {
+		h[benchItemID(i)] = Rating{Rating: 1, TS: int64(i), Session: 1}
+	}
+	big := EncodeHistory(h)
+	out, ok := UpsertHistoryEntry(big, benchItemID(42), Rating{Rating: 2, TS: 999, Session: 3})
+	if !ok {
+		t.Fatal("in-width upsert on 200-entry history declined")
+	}
+	got, err := DecodeHistory(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[benchItemID(42)] != (Rating{Rating: 2, TS: 999, Session: 3}) {
+		t.Fatalf("upsert lost: %v", got[benchItemID(42)])
+	}
+	if len(got) != 200 {
+		t.Fatalf("len=%d want 200", len(got))
+	}
+}
+
+func TestPatchFloat(t *testing.T) {
+	b := EncodeFloat(1.5)
+	if !PatchFloat(b, 2.75) {
+		t.Fatal("patch declined on 8-byte buffer")
+	}
+	if v, err := DecodeFloat(b); err != nil || v != 2.75 {
+		t.Fatalf("decode after patch = (%v,%v)", v, err)
+	}
+	if PatchFloat([]byte("123456789"), 1) {
+		t.Fatal("patch accepted a 9-byte buffer")
+	}
+	if PatchFloat(nil, 1) {
+		t.Fatal("patch accepted nil")
+	}
+}
+
+// --- zero-allocation gates -------------------------------------------------
+
+func TestMergeListEntryZeroAlloc(t *testing.T) {
+	l := List{}
+	for i := 0; i < 20; i++ {
+		l = append(l, core.ScoredItem{Item: benchItemID(i), Score: float64(100 - i)})
+	}
+	buf := EncodeList(l)
+	buf = append(buf, 0)[:len(buf)] // spare capacity so in-place growth never reallocates
+	allocs := testing.AllocsPerRun(200, func() {
+		out, _, ok := MergeListEntry(buf, benchItemID(7), 95.5, 20)
+		if !ok {
+			t.Fatal("merge declined")
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Fatalf("MergeListEntry in-place: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestUpsertHistoryEntryZeroAlloc(t *testing.T) {
+	buf := EncodeHistory(nil)
+	for i := 0; i < 30; i++ {
+		buf, _ = AppendHistoryEntry(buf, benchItemID(i), Rating{Rating: 1, TS: int64(i), Session: 1})
+	}
+	r := Rating{Rating: 2, TS: 77, Session: 2}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, ok := UpsertHistoryEntry(buf, benchItemID(11), r)
+		if !ok {
+			t.Fatal("upsert declined")
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Fatalf("UpsertHistoryEntry existing-item: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestFindIterZeroAlloc(t *testing.T) {
+	buf := EncodeHistory(nil)
+	for i := 0; i < 30; i++ {
+		buf, _ = AppendHistoryEntry(buf, benchItemID(i), Rating{Rating: 1, TS: int64(i), Session: 1})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, found, ok := FindHistoryEntry(buf, benchItemID(29)); !ok || !found {
+			t.Fatal("find failed")
+		}
+		it, _ := IterHistory(buf)
+		for {
+			if _, _, more := it.Next(); !more {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Find/Iter: %v allocs/op, want 0", allocs)
+	}
+}
+
+// --- delta vs full microbenchmarks -----------------------------------------
+
+func benchHistoryBuf(n int) []byte {
+	buf := EncodeHistory(nil)
+	for i := 0; i < n; i++ {
+		buf, _ = AppendHistoryEntry(buf, benchItemID(i), Rating{Rating: 1, TS: int64(i), Session: 1})
+	}
+	return buf
+}
+
+func BenchmarkHistoryUpsertDelta(b *testing.B) {
+	buf := benchHistoryBuf(100)
+	r := Rating{Rating: 2, TS: 5, Session: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok := UpsertHistoryEntry(buf, benchItemID(50), r)
+		if !ok {
+			b.Fatal("declined")
+		}
+		buf = out
+	}
+}
+
+func BenchmarkHistoryUpsertFull(b *testing.B) {
+	buf := benchHistoryBuf(100)
+	r := Rating{Rating: 2, TS: 5, Session: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := DecodeHistory(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h[benchItemID(50)] = r
+		buf = EncodeHistory(h)
+	}
+}
+
+func benchListBuf(n int) []byte {
+	l := make(List, 0, n)
+	for i := 0; i < n; i++ {
+		l = append(l, core.ScoredItem{Item: benchItemID(i), Score: float64(1000 - i)})
+	}
+	return EncodeList(l)
+}
+
+func BenchmarkListMergeDelta(b *testing.B) {
+	buf := benchListBuf(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, ok := MergeListEntry(buf, benchItemID(10), 995.5, 20)
+		if !ok {
+			b.Fatal("declined")
+		}
+		buf = out
+	}
+}
+
+func BenchmarkListMergeFull(b *testing.B) {
+	buf := benchListBuf(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := DecodeList(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, _ = refMergeList(l, benchItemID(10), 995.5, 20)
+		buf = EncodeList(l)
+	}
+}

@@ -1,0 +1,186 @@
+package statecodec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The fuzz targets pin two properties of the codecs on arbitrary input:
+// no decoder or delta helper may panic, and a delta helper that reports
+// ok must leave the buffer decodable with the edit applied. Seeds cover
+// the binary frames, legacy JSON, and truncations of both.
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{})
+	f.Add([]byte{tagBinary})
+	f.Add([]byte(`{"a":{"r":1}}`))
+	f.Add([]byte(`[]`))
+	h := History{"item-a": {Rating: 1.5, TS: 100, Session: 3}, "b": {Rating: 0.5, TS: 7, Session: 1}}
+	hb := EncodeHistory(h)
+	f.Add(hb)
+	f.Add(hb[:len(hb)/2])
+	l := List{{Item: "x", Score: 2}, {Item: "yy", Score: 1}}
+	lb := EncodeList(l)
+	f.Add(lb)
+	f.Add(lb[:len(lb)-3])
+	f.Add(EncodeFloat(3.25))
+	f.Add(EncodeProfile(Profile{Weights: map[string]float64{"k": 1.5}, UpdatedTS: 9, Published: 2}))
+	// Hostile count: claims 127 entries with no body.
+	f.Add([]byte{tagBinary, 'H', 1, 127})
+	f.Add([]byte{tagBinary, 'L', 1, 127})
+	// Two-byte count frame.
+	f.Add([]byte{tagBinary, 'H', 1, 0x80, 0x01})
+}
+
+func FuzzDecodeHistory(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHistory(data)
+		if err != nil {
+			return
+		}
+		// A decodable frame must survive re-encode → decode. Ratings are
+		// compared at the bit level: fuzzed frames can carry NaN.
+		h2, err := DecodeHistory(EncodeHistory(h))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(h) != len(h2) {
+			t.Fatalf("round trip diverged: %v vs %v", h, h2)
+		}
+		for k, v := range h {
+			v2, has := h2[k]
+			if !has || v.TS != v2.TS || v.Session != v2.Session ||
+				math.Float64bits(v.Rating) != math.Float64bits(v2.Rating) {
+				t.Fatalf("round trip diverged at %q: %v vs %v", k, v, v2)
+			}
+		}
+	})
+}
+
+func FuzzDecodeList(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := DecodeList(data)
+		if err != nil {
+			return
+		}
+		l2, err := DecodeList(EncodeList(l))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(l) != len(l2) {
+			t.Fatalf("round trip diverged: %v vs %v", l, l2)
+		}
+	})
+}
+
+func FuzzDecodeProfile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeProfile(EncodeProfile(p)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzHistoryDelta(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Every read-side helper must tolerate arbitrary bytes.
+		FindHistoryEntry(data, "probe")
+		HistoryLen(data)
+		if it, ok := IterHistory(data); ok {
+			for {
+				if _, _, more := it.Next(); !more {
+					break
+				}
+			}
+			it.Corrupt()
+		}
+
+		// Write-side helpers: work on a copy (they mutate in place), and
+		// whatever they accept must decode with the edit applied.
+		r := Rating{Rating: 2.5, TS: 42, Session: 7}
+		cp := append([]byte(nil), data...)
+		if out, ok := UpsertHistoryEntry(cp, "probe", r); ok {
+			h, err := DecodeHistory(out)
+			if err != nil {
+				t.Fatalf("upsert produced undecodable frame: %v (in=%x out=%x)", err, data, out)
+			}
+			if h["probe"] != r {
+				t.Fatalf("upsert lost entry: %v", h["probe"])
+			}
+		} else if !bytes.Equal(cp, data) {
+			t.Fatalf("declined upsert mutated buffer: %x -> %x", data, cp)
+		}
+
+		cp = append([]byte(nil), data...)
+		if out, ok := EvictOldestHistoryEntry(cp, "keep"); ok {
+			if _, err := DecodeHistory(out); err != nil {
+				t.Fatalf("evict produced undecodable frame: %v (in=%x out=%x)", err, data, out)
+			}
+		} else if !bytes.Equal(cp, data) {
+			t.Fatalf("declined evict mutated buffer: %x -> %x", data, cp)
+		}
+	})
+}
+
+func FuzzListDelta(f *testing.F) {
+	lb := EncodeList(List{{Item: "x", Score: 2}, {Item: "yy", Score: 1}})
+	f.Add(lb, 1.5, 5)
+	f.Add(lb, 0.0, 2)
+	f.Add(lb[:len(lb)-3], 3.0, 1)
+	f.Add([]byte(`[]`), 1.0, 3)
+	f.Add([]byte{tagBinary, 'L', 1, 127}, 2.0, 0)
+	f.Fuzz(func(t *testing.T, data []byte, score float64, k int) {
+		if k < -1 {
+			k = -1
+		}
+		if k > 200 {
+			k %= 200
+		}
+		cp := append([]byte(nil), data...)
+		out, _, ok := MergeListEntry(cp, "probe", score, k)
+		if !ok {
+			if !bytes.Equal(cp, data) {
+				t.Fatalf("declined merge mutated buffer: %x -> %x", data, cp)
+			}
+			return
+		}
+		l, err := DecodeList(out)
+		if err != nil {
+			t.Fatalf("merge produced undecodable frame: %v (in=%x out=%x)", err, data, out)
+		}
+		// A positive-score merge bounds the list at k. (Descending order
+		// is only guaranteed for ordered input — the equivalence test
+		// covers it; a fuzzed frame may be valid but unordered.)
+		if k >= 0 && len(l) > k && score > 0 {
+			t.Fatalf("merge exceeded k=%d: %d entries", k, len(l))
+		}
+	})
+}
+
+func FuzzDecodeFloat(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeFloat(1.5))
+	f.Add([]byte("1.5"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeFloat(data)
+		if err != nil {
+			return
+		}
+		cp := append([]byte(nil), data...)
+		if PatchFloat(cp, v) {
+			if v2, err := DecodeFloat(cp); err != nil || (v2 != v && !(v != v)) {
+				t.Fatalf("patch round trip: %v %v", v2, err)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"tencentrec/internal/combiner"
 	"tencentrec/internal/core"
 	"tencentrec/internal/demographic"
+	"tencentrec/internal/statecodec"
 	"tencentrec/internal/stream"
 )
 
@@ -41,16 +42,18 @@ type flushedDelta struct {
 	value   float64
 }
 
-// drainCombiner empties a combiner into session-ordered deltas: windowed
-// counters fold too-old sessions into the window edge, so deltas must be
-// applied oldest-first for results independent of map iteration order.
-func drainCombiner(c *combiner.Combiner) []flushedDelta {
-	buf := c.Drain()
-	out := make([]flushedDelta, 0, len(buf))
-	for ck, v := range buf {
+// drainCombinerInto empties a combiner into session-ordered deltas:
+// windowed counters fold too-old sessions into the window edge, so
+// deltas must be applied oldest-first for results independent of map
+// iteration order. The result reuses buf's backing array; callers keep
+// the returned slice as next tick's buf so a steady-state flush
+// allocates nothing.
+func drainCombinerInto(c *combiner.Combiner, buf []flushedDelta) []flushedDelta {
+	out := buf[:0]
+	c.Flush(func(ck string, v float64) {
 		key, session := splitCombKey(ck)
 		out = append(out, flushedDelta{key: key, session: session, value: v})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].session != out[j].session {
 			return out[i].session < out[j].session
@@ -121,6 +124,10 @@ type PretreatmentBolt struct {
 	p     Params
 	c     stream.Collector
 	dedup *msgDedup // shared across tasks; nil when disabled
+	// vals chunk-allocates emission payloads; acts memoizes the boxing
+	// of the small fixed set of action names.
+	vals valArena
+	acts map[string]any
 }
 
 // NewPretreatmentBolt returns the bolt factory.
@@ -136,7 +143,21 @@ func NewPretreatmentBolt(p Params) stream.BoltFactory {
 // Prepare implements stream.Bolt.
 func (b *PretreatmentBolt) Prepare(_ stream.TopologyContext, c stream.Collector) error {
 	b.c = c
+	b.acts = make(map[string]any, 8)
 	return nil
+}
+
+// action memoizes the boxing of an action name.
+func (b *PretreatmentBolt) action(a string) any {
+	if v, ok := b.acts[a]; ok {
+		return v
+	}
+	if len(b.acts) >= 64 {
+		clear(b.acts)
+	}
+	v := any(a)
+	b.acts[a] = v
+	return v
 }
 
 // Execute implements stream.Bolt.
@@ -166,7 +187,7 @@ func (b *PretreatmentBolt) Execute(t *stream.Tuple) error {
 		if _, ok := b.p.Weights[core.ActionType(a.Action)]; !ok {
 			return nil // unknown behaviour type
 		}
-		b.c.EmitTo(StreamUserAction, stream.Values{a.User, a.Item, a.Action, a.TS})
+		b.c.EmitTo(StreamUserAction, b.vals.v4(a.User, a.Item, b.action(a.Action), a.TS))
 	}
 	return nil
 }
@@ -191,6 +212,16 @@ type UserHistoryBolt struct {
 	p  Params
 	c  stream.Collector
 	st *taskState
+	// keys interns the uh: state keys and downstream pair ids, so the
+	// per-action fast path builds no key strings.
+	keys *interner
+	// vals chunk-allocates emission payloads; sessVal/weightVal memoize
+	// the interface boxings of the slow-moving session and the small
+	// fixed set of action weights.
+	vals      valArena
+	lastSess  int64
+	sessVal   any
+	weightVal map[float64]any
 	// emits buffers one action's derived deltas until the history write
 	// lands: emitting only after a successful Put means a store failure
 	// replays cleanly under acking (nothing was emitted, the history is
@@ -222,7 +253,30 @@ func (b *UserHistoryBolt) Prepare(ctx stream.TopologyContext, c stream.Collector
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
+	b.weightVal = make(map[float64]any, 8)
 	return nil
+}
+
+// session returns the memoized boxing of session.
+func (b *UserHistoryBolt) session(session int64) any {
+	if b.sessVal == nil || session != b.lastSess {
+		b.lastSess, b.sessVal = session, any(session)
+	}
+	return b.sessVal
+}
+
+// weight returns the memoized boxing of one of the Params.Weights.
+func (b *UserHistoryBolt) weight(w float64) any {
+	if v, ok := b.weightVal[w]; ok {
+		return v
+	}
+	if len(b.weightVal) >= 64 {
+		clear(b.weightVal)
+	}
+	v := any(w)
+	b.weightVal[w] = v
+	return v
 }
 
 // effective returns the stored rating if still inside the sliding window.
@@ -248,15 +302,25 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 	}
 	session := b.p.clock().SessionOf(RawAction{TS: ts}.Time())
 
-	raw, ok, err := b.st.Get(prefixUserHistory + user)
+	ukey := b.keys.key2(prefixUserHistory, user)
+	raw, ok, err := b.st.Get(ukey)
 	if err != nil {
 		return err
 	}
-	hist := make(storedHistory)
-	if ok {
-		if hist, err = decodeHistory(raw); err != nil {
-			return err
-		}
+	if !ok {
+		raw = statecodec.EncodeHistory(nil)
+	}
+	// Fast path: patch the encoded history in place and derive the deltas
+	// by iterating the frame — no map materialization, no re-encode.
+	if handled, err := b.executeFast(ukey, raw, user, item, weight, ts, session); handled {
+		return err
+	}
+	// Slow path: legacy JSON values, corrupt frames, and edits that would
+	// change the count's uvarint width (at most once per key per
+	// boundary crossing) take the full decode → mutate → re-encode pair.
+	hist, err := decodeHistory(raw)
+	if err != nil {
+		return err
 	}
 
 	prev, had := hist[item]
@@ -304,7 +368,7 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 
 	hist[item] = storedRating{Rating: newR, TS: ts, Session: session}
 	b.evict(hist, item)
-	if err := b.st.Put(prefixUserHistory+user, encodeHistory(hist)); err != nil {
+	if err := b.st.Put(ukey, encodeHistory(hist)); err != nil {
 		b.emits = b.emits[:0]
 		return err
 	}
@@ -313,6 +377,93 @@ func (b *UserHistoryBolt) Execute(t *stream.Tuple) error {
 	}
 	b.emits = b.emits[:0]
 	return nil
+}
+
+// executeFast is Execute against the encoded frame: the rating lookup,
+// co-rating scan and history upsert all operate on the stored bytes via
+// the statecodec delta paths. handled=false (nothing emitted, raw
+// unmodified) sends the caller to the decode path. All validation scans
+// run before the first mutation, so a fallback never sees a
+// half-patched frame.
+func (b *UserHistoryBolt) executeFast(ukey string, raw []byte, user, item string, weight float64, ts, session int64) (handled bool, err error) {
+	prev, had, ok := statecodec.FindHistoryEntry(raw, item)
+	if !ok {
+		return false, nil
+	}
+	oldR := 0.0
+	if had {
+		oldR = b.effective(prev, session)
+	}
+	newR := math.Max(oldR, weight)
+
+	// Box the values shared by many emissions once per action; the
+	// session and item boxings are memoized across actions.
+	sessVal := b.session(session)
+	itemVal := b.keys.box(item)
+	if d := newR - oldR; d > 0 {
+		b.emit(StreamItemDelta, b.vals.v3(itemVal, d, sessVal))
+	}
+	newTouch := !had || (b.p.LinkedTime > 0 && ts-prev.TS > int64(b.p.LinkedTime))
+	if b.p.EnableAR && newTouch {
+		b.emit(StreamARItem, b.vals.v2(itemVal, sessVal))
+	}
+
+	it, _ := statecodec.IterHistory(raw)
+	for {
+		j, rj, more := it.Next()
+		if !more {
+			break
+		}
+		if string(j) == item {
+			continue
+		}
+		if b.p.LinkedTime > 0 && ts-rj.TS > int64(b.p.LinkedTime) {
+			continue
+		}
+		rJ := b.effective(rj, session)
+		if rJ <= 0 {
+			continue
+		}
+		deltaCo := math.Min(newR, rJ) - math.Min(oldR, rJ)
+		pid := b.keys.box(b.keys.pairBytes(item, j))
+		b.emit(StreamPairDelta, b.vals.v3(pid, deltaCo, sessVal))
+		if b.p.EnableAR && newTouch {
+			b.emit(StreamARPair, b.vals.v2(pid, sessVal))
+		}
+	}
+	if it.Corrupt() {
+		b.emits = b.emits[:0]
+		return false, nil
+	}
+
+	group := b.p.groupOf(user)
+	weightVal := b.weight(weight)
+	b.emit(StreamGroupDelta, b.vals.v4(b.keys.box(group), itemVal, weightVal, sessVal))
+	if group != demographic.GlobalGroup {
+		b.emit(StreamGroupDelta, b.vals.v4(b.keys.box(demographic.GlobalGroup), itemVal, weightVal, sessVal))
+	}
+
+	out, ok := statecodec.UpsertHistoryEntry(raw, item, storedRating{Rating: newR, TS: ts, Session: session})
+	if !ok {
+		// Count-width boundary: nothing was mutated; retract the
+		// buffered emissions and re-derive on the decode path.
+		b.emits = b.emits[:0]
+		return false, nil
+	}
+	if n, _ := statecodec.HistoryLen(out); n > b.p.MaxUserHistory {
+		// Best-effort, mirroring evict: a width-boundary failure just
+		// leaves the history long until a later boundary-free eviction.
+		out, _ = statecodec.EvictOldestHistoryEntry(out, item)
+	}
+	if err := b.st.Put(ukey, out); err != nil {
+		b.emits = b.emits[:0]
+		return true, err
+	}
+	for _, e := range b.emits {
+		b.c.EmitTo(e.stream, e.values)
+	}
+	b.emits = b.emits[:0]
+	return true, nil
 }
 
 // emit buffers an emission until the history write succeeds.
@@ -359,6 +510,10 @@ type ItemCountBolt struct {
 	p    Params
 	st   *taskState
 	comb *combiner.Combiner
+	keys *interner
+	// deltas/keyBuf are flush scratch, reused across ticks.
+	deltas []flushedDelta
+	keyBuf []string
 }
 
 // NewItemCountBolt returns the bolt factory.
@@ -374,6 +529,7 @@ func (b *ItemCountBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) 
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	if !b.p.DisableCombiner {
 		b.comb = combiner.New(combiner.Sum)
 	}
@@ -389,10 +545,10 @@ func (b *ItemCountBolt) Execute(t *stream.Tuple) error {
 	delta := t.Value("delta").(float64)
 	session := t.Value("session").(int64)
 	if b.comb != nil {
-		b.comb.Add(combKey(item, session), delta)
+		b.comb.Add(b.keys.comb(item, session), delta)
 		return nil
 	}
-	_, err := b.st.addCounter(prefixItemCount+item, b.p.WindowSessions, session, delta)
+	_, err := b.st.addCounter(b.keys.key2(prefixItemCount, item), b.p.WindowSessions, session, delta)
 	return err
 }
 
@@ -400,24 +556,29 @@ func (b *ItemCountBolt) flush() error {
 	if b.comb == nil {
 		return nil
 	}
-	deltas := drainCombiner(b.comb)
+	b.deltas = drainCombinerInto(b.comb, b.deltas)
+	deltas := b.deltas
 	if len(deltas) == 0 {
 		return nil
 	}
 	// One batched read of every touched counter, the merged deltas
 	// applied in session order against the staged view, one batched
 	// write back — the tick costs two store round-trips, not 2N.
-	keys := make([]string, 0, len(deltas))
-	for _, d := range deltas {
-		keys = append(keys, prefixItemCount+d.key)
+	// (prefetch compacts the key scratch in place; the apply loop
+	// re-interns each key instead of indexing into it.)
+	keys := b.keyBuf[:0]
+	for i := range deltas {
+		keys = append(keys, b.keys.key2(prefixItemCount, deltas[i].key))
 	}
-	sb := b.st.newBatch()
+	b.keyBuf = keys
+	sb := b.st.batch()
 	if err := sb.prefetch(keys, nil); err != nil {
 		return err
 	}
 	var firstErr error
-	for _, d := range deltas {
-		if _, err := sb.addCounter(prefixItemCount+d.key, b.p.WindowSessions, d.session, d.value); err != nil && firstErr == nil {
+	for i := range deltas {
+		d := &deltas[i]
+		if _, err := sb.addCounter(b.keys.key2(prefixItemCount, d.key), b.p.WindowSessions, d.session, d.value); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -456,6 +617,15 @@ type PairCountBolt struct {
 	// pairs are recomputed against the fully-settled counters, so a
 	// drained topology stores exact similarities.
 	owned map[string]int64
+	keys  *interner
+	vals  valArena
+	// Flush scratch, reused across ticks.
+	jobs       []pairJob
+	deltas     []flushedDelta
+	counts     map[string]float64
+	keyBuf     []string
+	ownedBuf   []string
+	foreignBuf []string
 }
 
 // NewPairCountBolt returns the bolt factory.
@@ -480,6 +650,8 @@ func (b *PairCountBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) 
 	b.checked = make(map[string]bool)
 	b.recheck = make(map[string]int64)
 	b.owned = make(map[string]int64)
+	b.keys = newInterner(b.p.CacheSize)
+	b.counts = make(map[string]float64)
 	return nil
 }
 
@@ -492,7 +664,7 @@ func (b *PairCountBolt) isPruned(pair string) bool {
 		return false
 	}
 	b.checked[pair] = true
-	if _, ok, _ := b.st.Get(prefixPruned + pair); ok {
+	if _, ok, _ := b.st.Get(b.keys.key2(prefixPruned, pair)); ok {
 		b.pruned[pair] = true
 		return true
 	}
@@ -511,12 +683,13 @@ func (b *PairCountBolt) Execute(t *stream.Tuple) error {
 		return nil // Algorithm 1 line 3-5: skip items in Li
 	}
 	if b.comb != nil {
-		ck := combKey(pair, session)
+		ck := b.keys.comb(pair, session)
 		b.comb.Add(ck, delta)
 		b.nCom.Add(ck, 1)
 		return nil
 	}
-	sb, err := b.newPairBatch([]string{pair})
+	b.keyBuf = append(b.keyBuf[:0], pair)
+	sb, err := b.newPairBatch(b.keyBuf)
 	if err != nil {
 		return err
 	}
@@ -541,21 +714,25 @@ type pairJob struct {
 }
 
 func (b *PairCountBolt) flush(final bool) error {
-	var jobs []pairJob
+	jobs := b.jobs[:0]
 	// Recompute last interval's pairs against the now-settled counters.
+	// The pending set is read out before the clear; applies below then
+	// repopulate b.recheck for the next interval.
 	if len(b.recheck) > 0 && !final {
-		pending := b.recheck
-		b.recheck = make(map[string]int64)
-		for _, pair := range sortedKeys(pending) {
-			jobs = append(jobs, pairJob{pair: pair, session: pending[pair]})
+		for _, pair := range sortedKeysInto(b.recheck, b.keyBuf[:0]) {
+			jobs = append(jobs, pairJob{pair: pair, session: b.recheck[pair]})
 		}
+		clear(b.recheck)
 	}
 	if b.comb != nil {
-		counts := b.nCom.Drain()
-		for _, d := range drainCombiner(b.comb) {
+		clear(b.counts)
+		b.nCom.FlushInto(b.counts)
+		b.deltas = drainCombinerInto(b.comb, b.deltas)
+		for i := range b.deltas {
+			d := &b.deltas[i]
 			jobs = append(jobs, pairJob{
 				pair: d.key, session: d.session, delta: d.value,
-				n: counts[combKey(d.key, d.session)], fromComb: true,
+				n: b.counts[b.keys.comb(d.key, d.session)], fromComb: true,
 			})
 		}
 	}
@@ -563,27 +740,30 @@ func (b *PairCountBolt) flush(final bool) error {
 		// Shutdown flush: every counter upstream has settled (the engine
 		// flushes components in topological order), so recomputing all
 		// owned pairs leaves exact similarities in the store.
-		b.recheck = make(map[string]int64)
-		for _, pair := range sortedKeys(b.owned) {
+		clear(b.recheck)
+		for _, pair := range sortedKeysInto(b.owned, b.keyBuf[:0]) {
 			jobs = append(jobs, pairJob{pair: pair, session: b.owned[pair]})
 		}
 	}
+	b.jobs = jobs
 	if len(jobs) == 0 {
 		return nil
 	}
 	// One batched read covers every pair counter plus the foreign
 	// itemCounts and thresholds the whole interval needs; applies run
 	// against the staged view and one batched write lands the results.
-	pairs := make([]string, len(jobs))
-	for i, j := range jobs {
-		pairs[i] = j.pair
+	pairs := b.keyBuf[:0]
+	for i := range jobs {
+		pairs = append(pairs, jobs[i].pair)
 	}
+	b.keyBuf = pairs
 	sb, err := b.newPairBatch(pairs)
 	if err != nil {
 		return err
 	}
 	var firstErr error
-	for _, j := range jobs {
+	for i := range jobs {
+		j := &jobs[i]
 		if err := b.apply(sb, j.pair, j.session, j.delta, j.n); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -603,7 +783,11 @@ func (b *PairCountBolt) flush(final bool) error {
 // order of map-accumulated work (emission order downstream is otherwise
 // at the mercy of map iteration).
 func sortedKeys(m map[string]int64) []string {
-	out := make([]string, 0, len(m))
+	return sortedKeysInto(m, nil)
+}
+
+// sortedKeysInto is sortedKeys appending into a reused scratch slice.
+func sortedKeysInto(m map[string]int64, out []string) []string {
 	for k := range m {
 		out = append(out, k)
 	}
@@ -616,23 +800,24 @@ func sortedKeys(m map[string]int64) []string {
 // threshold (foreign, read once per interval instead of once per pair).
 func (b *PairCountBolt) newPairBatch(pairs []string) (*stateBatch, error) {
 	pruning := b.p.PruningDelta > 0 && b.p.PruningDelta < 1
-	owned := make([]string, 0, 2*len(pairs))
-	foreign := make([]string, 0, 2*len(pairs))
+	owned := b.ownedBuf[:0]
+	foreign := b.foreignBuf[:0]
 	for _, pair := range pairs {
 		if b.pruned[pair] {
 			continue // apply skips it; don't fetch its state
 		}
-		owned = append(owned, prefixPairCount+pair)
+		owned = append(owned, b.keys.key2(prefixPairCount, pair))
 		if pruning {
-			owned = append(owned, prefixPairN+pair)
+			owned = append(owned, b.keys.key2(prefixPairN, pair))
 		}
 		itemA, itemB := splitPair(pair)
-		foreign = append(foreign, prefixItemCount+itemA, prefixItemCount+itemB)
+		foreign = append(foreign, b.keys.key2(prefixItemCount, itemA), b.keys.key2(prefixItemCount, itemB))
 		if pruning {
-			foreign = append(foreign, prefixThreshold+itemA, prefixThreshold+itemB)
+			foreign = append(foreign, b.keys.key2(prefixThreshold, itemA), b.keys.key2(prefixThreshold, itemB))
 		}
 	}
-	sb := b.st.newBatch()
+	b.ownedBuf, b.foreignBuf = owned, foreign
+	sb := b.st.batch()
 	if err := sb.prefetch(owned, foreign); err != nil {
 		return nil, err
 	}
@@ -649,16 +834,16 @@ func (b *PairCountBolt) apply(sb *stateBatch, pair string, session int64, delta,
 	if old, ok := b.owned[pair]; !ok || session > old {
 		b.owned[pair] = session
 	}
-	pcSum, err := sb.addCounter(prefixPairCount+pair, b.p.WindowSessions, session, delta)
+	pcSum, err := sb.addCounter(b.keys.key2(prefixPairCount, pair), b.p.WindowSessions, session, delta)
 	if err != nil {
 		return err
 	}
 	itemA, itemB := splitPair(pair)
-	icA, err := sb.readCounterSum(prefixItemCount+itemA, b.p.WindowSessions, session)
+	icA, err := sb.readCounterSum(b.keys.key2(prefixItemCount, itemA), b.p.WindowSessions, session)
 	if err != nil {
 		return err
 	}
-	icB, err := sb.readCounterSum(prefixItemCount+itemB, b.p.WindowSessions, session)
+	icB, err := sb.readCounterSum(b.keys.key2(prefixItemCount, itemB), b.p.WindowSessions, session)
 	if err != nil {
 		return err
 	}
@@ -672,14 +857,16 @@ func (b *PairCountBolt) apply(sb *stateBatch, pair string, session int64, delta,
 		return nil
 	}
 	sim := core.Similarity(pcSum, icA, icB)
-	b.c.EmitTo(StreamSim, stream.Values{itemA, itemB, sim})
-	b.c.EmitTo(StreamSim, stream.Values{itemB, itemA, sim})
+	simVal := any(sim)
+	aVal, bVal := b.keys.box(itemA), b.keys.box(itemB)
+	b.c.EmitTo(StreamSim, b.vals.v3(aVal, bVal, simVal))
+	b.c.EmitTo(StreamSim, b.vals.v3(bVal, aVal, simVal))
 
 	// Hoeffding pruning.
 	if b.p.PruningDelta <= 0 || b.p.PruningDelta >= 1 {
 		return nil
 	}
-	nTotal, err := sb.addCounter(prefixPairN+pair, 0, 0, n)
+	nTotal, err := sb.addCounter(b.keys.key2(prefixPairN, pair), 0, 0, n)
 	if err != nil {
 		return err
 	}
@@ -695,10 +882,11 @@ func (b *PairCountBolt) apply(sb *stateBatch, pair string, session int64, delta,
 	eps := core.HoeffdingEpsilon(1, b.p.PruningDelta, int(nTotal))
 	if eps < thr-sim {
 		b.pruned[pair] = true
-		sb.put(prefixPruned+pair, []byte{1})
+		sb.put(b.keys.key2(prefixPruned, pair), []byte{1})
 		// Withdraw the pair from both lists.
-		b.c.EmitTo(StreamSim, stream.Values{itemA, itemB, 0.0})
-		b.c.EmitTo(StreamSim, stream.Values{itemB, itemA, 0.0})
+		zero := any(0.0)
+		b.c.EmitTo(StreamSim, b.vals.v3(aVal, bVal, zero))
+		b.c.EmitTo(StreamSim, b.vals.v3(bVal, aVal, zero))
 	}
 	return nil
 }
@@ -706,7 +894,7 @@ func (b *PairCountBolt) apply(sb *stateBatch, pair string, session int64, delta,
 // threshold reads an item's top-K list threshold maintained by
 // ResultStorage (a foreign key: never cached here).
 func (b *PairCountBolt) threshold(sb *stateBatch, item string) (float64, error) {
-	raw, ok, err := sb.getForeign(prefixThreshold + item)
+	raw, ok, err := sb.getForeign(b.keys.key2(prefixThreshold, item))
 	if err != nil || !ok {
 		return 0, err
 	}
@@ -780,13 +968,23 @@ type ResultStorageBolt struct {
 	p      Params
 	st     *taskState
 	prefix string // list key prefix (similar items or AR rules)
-	// lists caches decoded lists for the items this task owns (fields
-	// grouping makes it the only writer), so a burst of sim updates to
-	// one item decodes the list once instead of once per tuple. Bounded
-	// by clearing when full; restart safety comes from the store, not
-	// the cache.
-	lists    map[string]storedList
-	listsCap int
+	keys   *interner
+	// enc caches the encoded list frames for the items this task owns
+	// (fields grouping makes it the only writer), so a sim update merges
+	// into the stored bytes in place instead of decode → sort → encode
+	// per tuple. The cached slice is the same one handed to the task
+	// cache and store (which copy or never retain, per the State
+	// ownership contract), so an in-place patch plus re-put keeps every
+	// layer coherent. Bounded by clearing when full; restart safety
+	// comes from the store, not the cache.
+	enc    map[string][]byte
+	encCap int
+	// thrs caches each item's encoded threshold scalar so the publish
+	// path patches 8 bytes instead of allocating a fresh value.
+	thrs map[string][]byte
+	// kbuf/vbuf are the putBatch argument scratch.
+	kbuf [2]string
+	vbuf [2][]byte
 }
 
 // NewResultStorageBolt returns the bolt factory for similar-items lists.
@@ -802,10 +1000,12 @@ func (b *ResultStorageBolt) Prepare(ctx stream.TopologyContext, _ stream.Collect
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
-	if b.listsCap = b.p.CacheSize; b.listsCap < 0 {
-		b.listsCap = 0
+	b.keys = newInterner(b.p.CacheSize)
+	if b.encCap = b.p.CacheSize; b.encCap < 0 {
+		b.encCap = 0
 	}
-	b.lists = make(map[string]storedList)
+	b.enc = make(map[string][]byte)
+	b.thrs = make(map[string][]byte)
 	return nil
 }
 
@@ -817,34 +1017,53 @@ func (b *ResultStorageBolt) Execute(t *stream.Tuple) error {
 	item := t.Value("item").(string)
 	other := t.Value("other").(string)
 	sim := t.Value("sim").(float64)
-	list, cached := b.lists[item]
+	lkey := b.keys.key2(b.prefix, item)
+	raw, cached := b.enc[item]
 	if !cached {
-		raw, ok, err := b.st.Get(b.prefix + item)
+		var ok bool
+		var err error
+		raw, ok, err = b.st.Get(lkey)
 		if err != nil {
 			return err
 		}
-		if ok {
-			if list, err = decodeList(raw); err != nil {
-				return err
-			}
+		if !ok {
+			raw = statecodec.EncodeList(nil)
 		}
 	}
-	list, thr := updateStoredList(list, other, sim, b.p.TopK)
-	if b.listsCap > 0 {
-		if len(b.lists) >= b.listsCap {
-			b.lists = make(map[string]storedList) // full: start over
+	out, thr, ok := statecodec.MergeListEntry(raw, other, sim, b.p.TopK)
+	if !ok {
+		// Legacy JSON or oversized frame: full decode → update → encode.
+		list, err := decodeList(raw)
+		if err != nil {
+			return err
 		}
-		b.lists[item] = list
+		list, thr = updateStoredList(list, other, sim, b.p.TopK)
+		out = encodeList(list)
+	}
+	if b.encCap > 0 {
+		if len(b.enc) >= b.encCap && !cached {
+			clear(b.enc) // full: start over
+			clear(b.thrs)
+		}
+		b.enc[item] = out
 	}
 	if b.prefix == prefixSimilar {
 		// The list and its threshold land in one batched write: readers
 		// of the pruning test never observe a list without its threshold.
-		return b.st.putBatch(
-			[]string{b.prefix + item, prefixThreshold + item},
-			[][]byte{encodeList(list), encodeFloat(thr)},
-		)
+		te, ok := b.thrs[item]
+		if !ok || !statecodec.PatchFloat(te, thr) {
+			te = encodeFloat(thr)
+			if b.encCap > 0 {
+				b.thrs[item] = te
+			}
+		}
+		b.kbuf[0], b.vbuf[0] = lkey, out
+		b.kbuf[1], b.vbuf[1] = b.keys.key2(prefixThreshold, item), te
+		err := b.st.putBatch(b.kbuf[:], b.vbuf[:])
+		b.vbuf[0], b.vbuf[1] = nil, nil
+		return err
 	}
-	return b.st.Put(b.prefix+item, encodeList(list))
+	return b.st.Put(lkey, out)
 }
 
 // Cleanup implements stream.Bolt.

@@ -7,6 +7,7 @@ import (
 	"tencentrec/internal/combiner"
 	"tencentrec/internal/core"
 	"tencentrec/internal/ctr"
+	"tencentrec/internal/statecodec"
 	"tencentrec/internal/stream"
 )
 
@@ -18,6 +19,10 @@ type DBBolt struct {
 	p    Params
 	st   *taskState
 	comb *combiner.Combiner
+	keys *interner
+	// deltas/ownedBuf are flush scratch, reused across ticks.
+	deltas   []flushedDelta
+	ownedBuf []string
 }
 
 // NewDBBolt returns the bolt factory.
@@ -33,6 +38,7 @@ func (b *DBBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	if !b.p.DisableCombiner {
 		b.comb = combiner.New(combiner.Sum)
 	}
@@ -48,14 +54,15 @@ func (b *DBBolt) Execute(t *stream.Tuple) error {
 	item := t.Value("item").(string)
 	weight := t.Value("weight").(float64)
 	session := t.Value("session").(int64)
-	ck := combKey(group+"\x1f"+item, session)
 	if b.comb != nil {
-		b.comb.Add(ck, weight)
+		b.comb.Add(b.keys.combJoined(group, item, session), weight)
 		return nil
 	}
-	groupItem := group + "\x1f" + item
-	sb := b.st.newBatch()
-	if err := sb.prefetch([]string{prefixGroupCount + groupItem, prefixHotList + group}, nil); err != nil {
+	groupItem := b.keys.joined(group, item)
+	owned := append(b.ownedBuf[:0], b.keys.key2(prefixGroupCount, groupItem), b.keys.key2(prefixHotList, group))
+	b.ownedBuf = owned
+	sb := b.st.batch()
+	if err := sb.prefetch(owned, nil); err != nil {
 		return err
 	}
 	err := b.apply(sb, groupItem, session, weight)
@@ -69,7 +76,8 @@ func (b *DBBolt) flush() error {
 	if b.comb == nil {
 		return nil
 	}
-	deltas := drainCombiner(b.comb)
+	b.deltas = drainCombinerInto(b.comb, b.deltas)
+	deltas := b.deltas
 	if len(deltas) == 0 {
 		return nil
 	}
@@ -77,17 +85,19 @@ func (b *DBBolt) flush() error {
 	// interval touches (deduplicated per group); staged applies then land
 	// in one batched write. Multiple items of one group fold into the same
 	// staged list via read-your-writes.
-	owned := make([]string, 0, 2*len(deltas))
-	for _, d := range deltas {
-		group, _ := splitPair(d.key)
-		owned = append(owned, prefixGroupCount+d.key, prefixHotList+group)
+	owned := b.ownedBuf[:0]
+	for i := range deltas {
+		group, _ := splitPair(deltas[i].key)
+		owned = append(owned, b.keys.key2(prefixGroupCount, deltas[i].key), b.keys.key2(prefixHotList, group))
 	}
-	sb := b.st.newBatch()
+	b.ownedBuf = owned
+	sb := b.st.batch()
 	if err := sb.prefetch(owned, nil); err != nil {
 		return err
 	}
 	var firstErr error
-	for _, d := range deltas {
+	for i := range deltas {
+		d := &deltas[i]
 		if err := b.apply(sb, d.key, d.session, d.value); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -100,22 +110,29 @@ func (b *DBBolt) flush() error {
 
 func (b *DBBolt) apply(sb *stateBatch, groupItem string, session int64, weight float64) error {
 	group, item := splitPair(groupItem)
-	sum, err := sb.addCounter(prefixGroupCount+groupItem, b.p.WindowSessions, session, weight)
+	sum, err := sb.addCounter(b.keys.key2(prefixGroupCount, groupItem), b.p.WindowSessions, session, weight)
 	if err != nil {
 		return err
 	}
-	raw, ok, err := sb.get(prefixHotList + group)
+	hotKey := b.keys.key2(prefixHotList, group)
+	raw, ok, err := sb.get(hotKey)
 	if err != nil {
 		return err
 	}
-	var list storedList
-	if ok {
-		if list, err = decodeList(raw); err != nil {
+	if !ok {
+		raw = statecodec.EncodeList(nil)
+	}
+	// Merge into the staged frame in place; legacy values re-encode.
+	out, _, fast := statecodec.MergeListEntry(raw, item, sum, b.p.TopK)
+	if !fast {
+		list, err := decodeList(raw)
+		if err != nil {
 			return err
 		}
+		list, _ = updateStoredList(list, item, sum, b.p.TopK)
+		out = encodeList(list)
 	}
-	list, _ = updateStoredList(list, item, sum, b.p.TopK)
-	sb.put(prefixHotList+group, encodeList(list))
+	sb.put(hotKey, out)
 	return nil
 }
 
@@ -134,6 +151,10 @@ type ARBolt struct {
 	st *taskState
 	// dirty maps pair -> latest session of a buffered update.
 	dirty map[string]int64
+	keys  *interner
+	// keyBuf/foreignBuf are flush scratch, reused across ticks.
+	keyBuf     []string
+	foreignBuf []string
 }
 
 // NewARBolt returns the bolt factory.
@@ -151,6 +172,7 @@ func (b *ARBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) error {
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
 	b.dirty = make(map[string]int64)
+	b.keys = newInterner(b.p.CacheSize)
 	return nil
 }
 
@@ -161,7 +183,7 @@ func (b *ARBolt) Execute(t *stream.Tuple) error {
 	}
 	pair := t.Value("pair").(string)
 	session := t.Value("session").(int64)
-	if _, err := b.st.addCounter(prefixARPair+pair, b.p.WindowSessions, session, 1); err != nil {
+	if _, err := b.st.addCounter(b.keys.key2(prefixARPair, pair), b.p.WindowSessions, session, 1); err != nil {
 		return err
 	}
 	if old, ok := b.dirty[pair]; !ok || session > old {
@@ -177,28 +199,30 @@ func (b *ARBolt) flush() error {
 	if len(b.dirty) == 0 {
 		return nil
 	}
-	pairs := sortedKeys(b.dirty)
-	foreign := make([]string, 0, 3*len(pairs))
+	pairs := sortedKeysInto(b.dirty, b.keyBuf[:0])
+	b.keyBuf = pairs
+	foreign := b.foreignBuf[:0]
 	for _, pair := range pairs {
 		a, c2 := splitPair(pair)
-		foreign = append(foreign, prefixARPair+pair, prefixARItem+a, prefixARItem+c2)
+		foreign = append(foreign, b.keys.key2(prefixARPair, pair), b.keys.key2(prefixARItem, a), b.keys.key2(prefixARItem, c2))
 	}
-	sb := b.st.newBatch()
+	b.foreignBuf = foreign
+	sb := b.st.batch()
 	if err := sb.prefetch(nil, foreign); err != nil {
 		return err
 	}
 	for _, pair := range pairs {
 		session := b.dirty[pair]
-		supp, err := sb.readCounterSum(prefixARPair+pair, b.p.WindowSessions, session)
+		supp, err := sb.readCounterSum(b.keys.key2(prefixARPair, pair), b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
 		a, c2 := splitPair(pair)
-		suppA, err := sb.readCounterSum(prefixARItem+a, b.p.WindowSessions, session)
+		suppA, err := sb.readCounterSum(b.keys.key2(prefixARItem, a), b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
-		suppB, err := sb.readCounterSum(prefixARItem+c2, b.p.WindowSessions, session)
+		suppB, err := sb.readCounterSum(b.keys.key2(prefixARItem, c2), b.p.WindowSessions, session)
 		if err != nil {
 			return err
 		}
@@ -226,8 +250,9 @@ func (b *ARBolt) DeclareOutputFields() map[string]stream.Fields {
 
 // ARItemBolt maintains per-item transaction supports for AR.
 type ARItemBolt struct {
-	p  Params
-	st *taskState
+	p    Params
+	st   *taskState
+	keys *interner
 }
 
 // NewARItemBolt returns the bolt factory.
@@ -243,6 +268,7 @@ func (b *ARItemBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) err
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	return nil
 }
 
@@ -253,7 +279,7 @@ func (b *ARItemBolt) Execute(t *stream.Tuple) error {
 	}
 	item := t.Value("item").(string)
 	session := t.Value("session").(int64)
-	_, err := b.st.addCounter(prefixARItem+item, b.p.WindowSessions, session, 1)
+	_, err := b.st.addCounter(b.keys.key2(prefixARItem, item), b.p.WindowSessions, session, 1)
 	return err
 }
 
@@ -322,8 +348,12 @@ func (b *ItemInfoBolt) Cleanup() {}
 // id, it folds each action's item vector (from the ItemInfo statistics)
 // into the user's decayed term-weight profile.
 type CBBolt struct {
-	p  Params
-	st *taskState
+	p    Params
+	st   *taskState
+	keys *interner
+	// ownedBuf/foreignBuf are the prefetch argument scratch.
+	ownedBuf   []string
+	foreignBuf []string
 }
 
 // NewCBBolt returns the bolt factory.
@@ -339,6 +369,7 @@ func (b *CBBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error {
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	return nil
 }
 
@@ -356,11 +387,15 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 	}
 	// The item's content vector (foreign: ItemInfo owns it) and the
 	// user's profile (owned) come back in one batched read.
-	sb := b.st.newBatch()
-	if err := sb.prefetch([]string{prefixUserProfile + user}, []string{prefixItemInfo + item}); err != nil {
+	ukey := b.keys.key2(prefixUserProfile, user)
+	ikey := b.keys.key2(prefixItemInfo, item)
+	b.ownedBuf = append(b.ownedBuf[:0], ukey)
+	b.foreignBuf = append(b.foreignBuf[:0], ikey)
+	sb := b.st.batch()
+	if err := sb.prefetch(b.ownedBuf, b.foreignBuf); err != nil {
 		return err
 	}
-	rawItem, ok, err := sb.getForeign(prefixItemInfo + item)
+	rawItem, ok, err := sb.getForeign(ikey)
 	if err != nil || !ok {
 		return err // unknown item: nothing to learn
 	}
@@ -368,7 +403,7 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 	if err != nil {
 		return err
 	}
-	rawUser, ok, err := sb.get(prefixUserProfile + user)
+	rawUser, ok, err := sb.get(ukey)
 	if err != nil {
 		return err
 	}
@@ -394,7 +429,7 @@ func (b *CBBolt) Execute(t *stream.Tuple) error {
 		prof.Weights[term] += weight * tf
 	}
 	prof.UpdatedTS = ts
-	sb.put(prefixUserProfile+user, encodeProfile(prof))
+	sb.put(ukey, encodeProfile(prof))
 	return sb.flush()
 }
 
@@ -409,6 +444,10 @@ type CtrStoreBolt struct {
 	c       stream.Collector
 	st      *taskState
 	cuboids []ctr.Cuboid
+	keys    *interner
+	// ownedBuf/foreignBuf are the prefetch argument scratch.
+	ownedBuf   []string
+	foreignBuf []string
 }
 
 // NewCtrStoreBolt returns the bolt factory.
@@ -425,6 +464,7 @@ func (b *CtrStoreBolt) Prepare(ctx stream.TopologyContext, c stream.Collector) e
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	b.cuboids = b.p.CtrCuboids
 	if b.cuboids == nil {
 		b.cuboids = []ctr.Cuboid{{}, {ctr.DimGender, ctr.DimAge}, {ctr.DimRegion, ctr.DimGender, ctr.DimAge}}
@@ -455,27 +495,28 @@ func (b *CtrStoreBolt) Execute(t *stream.Tuple) error {
 	if etype != "impression" {
 		addPre, readPre = prefixCtrClk, prefixCtrImp
 	}
-	owned := make([]string, 0, len(b.cuboids))
-	foreign := make([]string, 0, len(b.cuboids))
+	owned := b.ownedBuf[:0]
+	foreign := b.foreignBuf[:0]
 	for _, cb := range b.cuboids {
-		cell := cb.Key(cx) + "\x1f" + item
-		owned = append(owned, addPre+cell)
-		foreign = append(foreign, readPre+cell)
+		cell := b.keys.joined(cb.Key(cx), item)
+		owned = append(owned, b.keys.key2(addPre, cell))
+		foreign = append(foreign, b.keys.key2(readPre, cell))
 	}
-	sb := b.st.newBatch()
+	b.ownedBuf, b.foreignBuf = owned, foreign
+	sb := b.st.batch()
 	if err := sb.prefetch(owned, foreign); err != nil {
 		return err
 	}
 	var loopErr error
 	for _, cb := range b.cuboids {
 		sit := cb.Key(cx)
-		cell := sit + "\x1f" + item
-		added, err := sb.addCounter(addPre+cell, b.p.WindowSessions, session, 1)
+		cell := b.keys.joined(sit, item)
+		added, err := sb.addCounter(b.keys.key2(addPre, cell), b.p.WindowSessions, session, 1)
 		if err != nil {
 			loopErr = err
 			break
 		}
-		read, err := sb.readCounterSum(readPre+cell, b.p.WindowSessions, session)
+		read, err := sb.readCounterSum(b.keys.key2(readPre, cell), b.p.WindowSessions, session)
 		if err != nil {
 			loopErr = err
 			break
@@ -506,8 +547,9 @@ func (b *CtrStoreBolt) DeclareOutputFields() map[string]stream.Fields {
 // CtrBolt maintains the per-situation ad ranking: grouped by situation
 // key, it folds smoothed CTR updates into the situation's top list.
 type CtrBolt struct {
-	p  Params
-	st *taskState
+	p    Params
+	st   *taskState
+	keys *interner
 }
 
 // NewCtrBolt returns the bolt factory.
@@ -523,6 +565,7 @@ func (b *CtrBolt) Prepare(ctx stream.TopologyContext, _ stream.Collector) error 
 		return fmt.Errorf("topology: missing state in topology config")
 	}
 	b.st = newTaskState(st, b.p.CacheSize)
+	b.keys = newInterner(b.p.CacheSize)
 	return nil
 }
 
@@ -534,18 +577,25 @@ func (b *CtrBolt) Execute(t *stream.Tuple) error {
 	sit := t.Value("sit").(string)
 	item := t.Value("item").(string)
 	score := t.Value("score").(float64)
-	raw, ok, err := b.st.Get(prefixCtrTop + sit)
+	key := b.keys.key2(prefixCtrTop, sit)
+	raw, ok, err := b.st.Get(key)
 	if err != nil {
 		return err
 	}
-	var list storedList
-	if ok {
-		if list, err = decodeList(raw); err != nil {
+	if !ok {
+		raw = statecodec.EncodeList(nil)
+	}
+	// Merge into the cached frame in place; legacy values re-encode.
+	out, _, fast := statecodec.MergeListEntry(raw, item, score, b.p.TopK)
+	if !fast {
+		list, err := decodeList(raw)
+		if err != nil {
 			return err
 		}
+		list, _ = updateStoredList(list, item, score, b.p.TopK)
+		out = encodeList(list)
 	}
-	list, _ = updateStoredList(list, item, score, b.p.TopK)
-	return b.st.Put(prefixCtrTop+sit, encodeList(list))
+	return b.st.Put(key, out)
 }
 
 // Cleanup implements stream.Bolt.

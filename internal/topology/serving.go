@@ -132,29 +132,72 @@ func (s *Serving) history(user string) (storedHistory, error) {
 	return decodeHistory(raw)
 }
 
-// recentItems returns the user's RecentK most recent rated items.
-func (s *Serving) recentItems(hist storedHistory, now time.Time) []core.ScoredItem {
-	type ref struct {
-		item   string
-		rating float64
-		ts     int64
+// recentRef orders recentItems selection: time descending, item
+// ascending on ties (the same tie-break core/itemcf.go uses).
+type recentRef struct {
+	item   string
+	rating float64
+	ts     int64
+}
+
+func recentBefore(a, b recentRef) bool {
+	if a.ts != b.ts {
+		return a.ts > b.ts
 	}
-	refs := make([]ref, 0, len(hist))
+	return a.item < b.item
+}
+
+// recentItems returns the user's RecentK most recent rated items,
+// selected with a bounded min-heap over the RecentK slots instead of
+// sorting the whole history.
+func (s *Serving) recentItems(hist storedHistory, now time.Time) []core.ScoredItem {
+	k := s.p.RecentK
+	refs := make([]recentRef, 0, min(len(hist), k))
 	for item, r := range hist {
 		if s.p.LinkedTime > 0 && now.UnixNano()-r.TS > int64(s.p.LinkedTime) {
 			continue
 		}
-		refs = append(refs, ref{item, r.Rating, r.TS})
+		ref := recentRef{item, r.Rating, r.TS}
+		if len(refs) < k {
+			refs = append(refs, ref)
+			if len(refs) == k {
+				for i := k/2 - 1; i >= 0; i-- {
+					siftOldest(refs, i)
+				}
+			}
+			continue
+		}
+		if k > 0 && recentBefore(ref, refs[0]) {
+			refs[0] = ref
+			siftOldest(refs, 0)
+		}
 	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].ts > refs[j].ts })
-	if len(refs) > s.p.RecentK {
-		refs = refs[:s.p.RecentK]
-	}
+	sort.Slice(refs, func(i, j int) bool { return recentBefore(refs[i], refs[j]) })
 	out := make([]core.ScoredItem, len(refs))
 	for i, r := range refs {
 		out[i] = core.ScoredItem{Item: r.item, Score: r.rating}
 	}
 	return out
+}
+
+// siftOldest keeps the oldest retained reference at the heap root so it
+// is the one displaced by a more recent candidate.
+func siftOldest(h []recentRef, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		w := l
+		if r := l + 1; r < len(h) && recentBefore(h[l], h[r]) {
+			w = r
+		}
+		if !recentBefore(h[i], h[w]) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
 }
 
 // RecommendCF serves an item-based CF slate: Eq. 2 over the user's
@@ -218,15 +261,7 @@ func (s *Serving) RecommendCF(user string, now time.Time, n int, exclude map[str
 		}
 		out = append(out, core.ScoredItem{Item: item, Score: a.num / a.den})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > n {
-		out = out[:n]
-	}
+	out = core.TopNScored(out, n)
 	if len(out) < n {
 		hot, err := s.HotItems(user, n)
 		if err != nil {
@@ -312,15 +347,7 @@ func (s *Serving) ARRecommend(user string, now time.Time, n int) ([]core.ScoredI
 	for item, conf := range best {
 		out = append(out, core.ScoredItem{Item: item, Score: conf})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > n {
-		out = out[:n]
-	}
+	out = core.TopNScored(out, n)
 	if qkey != "" {
 		s.rd.PutResult(qkey, out)
 	}
@@ -402,16 +429,7 @@ func (s *Serving) RecommendCB(user string, candidates []string, n int, exclude m
 			out = append(out, core.ScoredItem{Item: id, Score: score})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > n {
-		out = out[:n]
-	}
-	return out, nil
+	return core.TopNScored(out, n), nil
 }
 
 // PutItemProfile registers an item's content profile directly in state,

@@ -40,6 +40,14 @@ import (
 // subset of the TDStore client, including the batched entry points the
 // flush paths depend on. All implementations must be safe for concurrent
 // use (bolts on different tasks share one client).
+//
+// Value ownership: Get and BatchGet return slices the caller owns — the
+// store must not retain or mutate them after returning (every engine
+// copies out of its internal storage exactly once). Symmetrically, Put
+// and BatchPut must not retain the key or value slices after they
+// return: callers reuse those buffers across calls (pooled flush
+// machinery, in-place codec patches), so a store that needs the bytes
+// beyond the call must copy them.
 type State interface {
 	// Get returns the value stored under key.
 	Get(key string) ([]byte, bool, error)
@@ -114,14 +122,28 @@ func (s *MemState) Get(key string) ([]byte, bool, error) {
 
 // Put implements State.
 func (s *MemState) Put(key string, value []byte) error {
-	cp := make([]byte, len(value))
-	copy(cp, value)
 	sh := s.shard(key)
 	sh.mu.Lock()
-	sh.m[key] = cp
+	sh.m[key] = copyInto(sh.m[key], value)
 	sh.mu.Unlock()
 	s.puts.Add(1)
 	return nil
+}
+
+// copyInto copies value into dst's storage when it fits, else into a
+// fresh slice with growth headroom. Safe only because Get/BatchGet hand
+// out copies, so the stored slice is exclusively owned by the shard map;
+// the headroom amortizes re-allocation for values (user histories,
+// result lists) that grow by a few bytes per update.
+func copyInto(dst, value []byte) []byte {
+	if cap(dst) >= len(value) {
+		dst = dst[:len(value)]
+		copy(dst, value)
+		return dst
+	}
+	cp := make([]byte, len(value), len(value)+len(value)/4+16)
+	copy(cp, value)
+	return cp
 }
 
 // Delete implements State.
@@ -179,9 +201,7 @@ func (s *MemState) BatchPut(keys []string, values [][]byte) error {
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			cp := make([]byte, len(values[i]))
-			copy(cp, values[i])
-			sh.m[keys[i]] = cp
+			sh.m[keys[i]] = copyInto(sh.m[keys[i]], values[i])
 		}
 		sh.mu.Unlock()
 	}
@@ -231,9 +251,21 @@ func (s *MemState) Len() int {
 // State with write-through, per §5.2. Each bolt task owns one; fields
 // grouping guarantees the task is the only writer of its keys, which is
 // what makes the cache consistent.
+//
+// Value ownership on this layer differs from State: a cached Get
+// returns the cache-owned slice with no copy (the read path's single
+// copy happens at the store boundary, on the miss that filled the
+// entry). Because the task is the key's only writer, it may patch that
+// slice in place — the delta-codec fast paths do — provided it
+// immediately re-Puts the key so the cache entry's length and the
+// write-through stay coherent. Values must never escape to another
+// goroutine.
 type taskState struct {
 	store State
 	cache *cache.Cache
+	// pool is the task's reusable stateBatch (see batch). Lazily built;
+	// nil until the first flush that wants one.
+	pool *stateBatch
 }
 
 func newTaskState(store State, cacheSize int) *taskState {
@@ -301,11 +333,25 @@ func (ts *taskState) putCounter(key string, c *window.Counter) error {
 }
 
 // addCounter applies a delta to the stored counter and returns the new
-// windowed sum.
+// windowed sum. Existing encodings are patched in place (the cached
+// slice is this task's to mutate; the re-Put keeps cache and store
+// coherent); only absent keys and foreign encodings take the
+// decode/re-encode path.
 func (ts *taskState) addCounter(key string, w int, session int64, delta float64) (float64, error) {
-	c, err := ts.getCounter(key, w)
+	raw, ok, err := ts.Get(key)
 	if err != nil {
 		return 0, err
+	}
+	if ok {
+		if sum, patched := window.AddEncoded(raw, session, delta); patched {
+			return sum, ts.Put(key, raw)
+		}
+	}
+	c := window.NewCounter(w)
+	if ok {
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return 0, err
+		}
 	}
 	c.Add(session, delta)
 	if err := ts.putCounter(key, c); err != nil {
@@ -316,17 +362,19 @@ func (ts *taskState) addCounter(key string, w int, session int64, delta float64)
 
 // readCounterSum returns a foreign counter's windowed sum without
 // modifying it, reading through to the store (the counter belongs to
-// another bolt, whose cache is the authoritative copy).
+// another bolt, whose cache is the authoritative copy). Well-formed
+// encodings are summed in place without decoding.
 func (ts *taskState) readCounterSum(key string, w int, session int64) (float64, error) {
 	raw, ok, err := ts.getForeign(key)
-	if err != nil {
+	if err != nil || !ok {
 		return 0, err
 	}
+	if sum, fast := window.SumEncoded(raw, session); fast {
+		return sum, nil
+	}
 	c := window.NewCounter(w)
-	if ok {
-		if err := c.UnmarshalBinary(raw); err != nil {
-			return 0, err
-		}
+	if err := c.UnmarshalBinary(raw); err != nil {
+		return 0, err
 	}
 	return c.Sum(session), nil
 }
@@ -349,6 +397,10 @@ type stateBatch struct {
 	foreign map[string]bool
 	dirty   map[string]bool
 	order   []string
+	// flushKeys/flushVals are the BatchPut argument scratch, reused
+	// across flushes (State.BatchPut must not retain them).
+	flushKeys []string
+	flushVals [][]byte
 }
 
 func (ts *taskState) newBatch() *stateBatch {
@@ -360,6 +412,30 @@ func (ts *taskState) newBatch() *stateBatch {
 		foreign: make(map[string]bool),
 		dirty:   make(map[string]bool),
 	}
+}
+
+// batch returns the task's pooled stateBatch, reset for a new interval.
+// A task executes one tuple or one tick at a time, so a single reusable
+// instance suffices; pooling keeps a flush from reallocating five maps
+// per tick (or per tuple on the unbatched bolts).
+func (ts *taskState) batch() *stateBatch {
+	if ts.pool == nil {
+		ts.pool = ts.newBatch()
+		return ts.pool
+	}
+	ts.pool.reset()
+	return ts.pool
+}
+
+// reset clears the staged view while keeping every map's buckets and
+// the slices' capacity.
+func (sb *stateBatch) reset() {
+	clear(sb.vals)
+	clear(sb.found)
+	clear(sb.known)
+	clear(sb.foreign)
+	clear(sb.dirty)
+	sb.order = sb.order[:0]
 }
 
 // prefetch loads the given owned and foreign keys in bulk. Owned keys go
@@ -456,15 +532,18 @@ func (sb *stateBatch) flush() error {
 	if len(sb.order) == 0 {
 		return nil
 	}
-	keys := make([]string, len(sb.order))
-	vals := make([][]byte, len(sb.order))
-	for i, k := range sb.order {
-		keys[i] = k
-		vals[i] = sb.vals[k]
+	keys := sb.flushKeys[:0]
+	vals := sb.flushVals[:0]
+	for _, k := range sb.order {
+		keys = append(keys, k)
+		vals = append(vals, sb.vals[k])
 	}
+	sb.flushKeys, sb.flushVals = keys, vals
 	sb.order = sb.order[:0]
 	clear(sb.dirty)
-	return sb.ts.store.BatchPut(keys, vals)
+	err := sb.ts.store.BatchPut(keys, vals)
+	clear(sb.flushVals) // drop value references; capacity stays
+	return err
 }
 
 // getCounter loads a windowed counter from the batch view.
@@ -483,33 +562,48 @@ func (sb *stateBatch) getCounter(key string, w int) (*window.Counter, error) {
 }
 
 // addCounter applies a delta to a staged counter and returns the new
-// windowed sum.
+// windowed sum. Like taskState.addCounter, existing encodings are
+// patched in place; the re-put keeps the staged view, cache and dirty
+// set coherent.
 func (sb *stateBatch) addCounter(key string, w int, session int64, delta float64) (float64, error) {
-	c, err := sb.getCounter(key, w)
+	raw, ok, err := sb.get(key)
 	if err != nil {
 		return 0, err
 	}
-	c.Add(session, delta)
-	raw, err := c.MarshalBinary()
-	if err != nil {
-		return 0, err
-	}
-	sb.put(key, raw)
-	return c.Sum(session), nil
-}
-
-// readCounterSum returns a foreign counter's windowed sum from the batch
-// view.
-func (sb *stateBatch) readCounterSum(key string, w int, session int64) (float64, error) {
-	raw, ok, err := sb.getForeign(key)
-	if err != nil {
-		return 0, err
+	if ok {
+		if sum, patched := window.AddEncoded(raw, session, delta); patched {
+			sb.put(key, raw)
+			return sum, nil
+		}
 	}
 	c := window.NewCounter(w)
 	if ok {
 		if err := c.UnmarshalBinary(raw); err != nil {
 			return 0, err
 		}
+	}
+	c.Add(session, delta)
+	enc, err := c.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	sb.put(key, enc)
+	return c.Sum(session), nil
+}
+
+// readCounterSum returns a foreign counter's windowed sum from the batch
+// view. Well-formed encodings are summed in place without decoding.
+func (sb *stateBatch) readCounterSum(key string, w int, session int64) (float64, error) {
+	raw, ok, err := sb.getForeign(key)
+	if err != nil || !ok {
+		return 0, err
+	}
+	if sum, fast := window.SumEncoded(raw, session); fast {
+		return sum, nil
+	}
+	c := window.NewCounter(w)
+	if err := c.UnmarshalBinary(raw); err != nil {
+		return 0, err
 	}
 	return c.Sum(session), nil
 }

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
-# and write the results to a JSON snapshot (BENCH_PR8.json by default).
+# and write the results to a JSON snapshot (BENCH_PR9.json by default).
 #
 # Fixed iteration counts (-benchtime=Nx) keep runs comparable across
 # machines and across PRs: the interesting number is ns/op at a known
@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 # Snapshot label derived from the output name (BENCH_PR5.json -> PR5),
 # so rerunning under a different name stays self-describing.
 snap="$(basename "$out" .json)"
@@ -88,6 +88,19 @@ run "ldb durable writes: per-record fsync vs group commit (2000x)" \
 run "ldb cold-start recovery (WAL replay + table load, 50x)" \
 	-run=NONE -bench='BenchmarkLDBRecovery$' \
 	-benchtime=50x -count=3 ./internal/tdstore/engine/ldb/
+
+run "codec delta vs full re-encode (100000x)" \
+	-run=NONE \
+	-bench='BenchmarkHistoryUpsertDelta$|BenchmarkHistoryUpsertFull$|BenchmarkListMergeDelta$|BenchmarkListMergeFull$' \
+	-benchtime=100000x -count=3 ./internal/statecodec/
+
+run "windowed counter: encoded in-place vs decode-add-marshal (100000x)" \
+	-run=NONE -bench='BenchmarkAddEncoded$|BenchmarkAddDecoded$' \
+	-benchtime=100000x -count=3 ./internal/window/
+
+run "top-K: heap partial select vs full sort (20000x)" \
+	-run=NONE -bench='BenchmarkTopNHeap$|BenchmarkTopNSort$' \
+	-benchtime=20000x -count=3 ./internal/core/
 
 echo "== writing $out"
 awk -v ncpu="$(nproc 2>/dev/null || echo 1)" -v snap="$snap" '

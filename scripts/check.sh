@@ -46,4 +46,22 @@ fi
 echo "== store benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkMDBConcurrent|BenchmarkStoreParallel' -benchtime=100x ./internal/tdstore/...
 
+echo "== statecodec fuzz smoke (decoders + delta frames)"
+for target in FuzzDecodeHistory FuzzDecodeList FuzzDecodeProfile \
+	FuzzHistoryDelta FuzzListDelta FuzzDecodeFloat; do
+	go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/statecodec/
+done
+
+echo "== codec append paths and top-K insert stay allocation-free"
+zero_out=$(go test -run=NONE \
+	-bench='BenchmarkHistoryUpsertDelta$|BenchmarkListMergeDelta$|BenchmarkAddEncoded$|BenchmarkTopNHeap$' \
+	-benchmem -benchtime=10000x ./internal/statecodec/ ./internal/window/ ./internal/core/)
+echo "$zero_out"
+if echo "$zero_out" | awk '/^Benchmark/ { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op" && $i != 0) exit 1 }'; then
+	:
+else
+	echo "check: codec delta path or top-K insert allocates" >&2
+	exit 1
+fi
+
 echo "check: OK"

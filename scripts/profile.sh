@@ -1,0 +1,37 @@
+#!/bin/sh
+# profile.sh - capture CPU and allocation profiles of the two headline
+# hot paths (the CF pipeline and the serving-tier read mix) into
+# profiles/, plus a text top-25 of each so a diff review doesn't need
+# pprof installed.
+#
+# Usage: scripts/profile.sh [iterations]
+#   iterations: -benchtime=Nx for the pipeline bench (default 20000);
+#               the serving mix runs at 2.5x that, matching its lighter
+#               per-op cost.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+iters="${1:-20000}"
+mkdir -p profiles
+
+profile() {
+	name="$1"
+	bench="$2"
+	bt="$3"
+	echo "== $name ($bench, ${bt}x)"
+	go test -run=NONE -bench="$bench" -benchtime="${bt}x" -count=1 \
+		-cpuprofile="profiles/${name}.cpu.out" \
+		-memprofile="profiles/${name}.mem.out" \
+		-o "profiles/${name}.test" .
+	go tool pprof -top -nodecount=25 "profiles/${name}.test" \
+		"profiles/${name}.cpu.out" >"profiles/${name}.cpu.txt"
+	go tool pprof -top -nodecount=25 -sample_index=alloc_space \
+		"profiles/${name}.test" "profiles/${name}.mem.out" >"profiles/${name}.mem.txt"
+	echo "   profiles/${name}.cpu.txt profiles/${name}.mem.txt"
+}
+
+profile pipeline 'BenchmarkPipelineThroughput$' "$iters"
+profile serving_mix 'BenchmarkHTTPServingMix' "$((iters * 5 / 2))"
+
+echo "profile: wrote CPU/alloc profiles and top-25 summaries to profiles/"
