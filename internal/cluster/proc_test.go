@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the worker entrypoint: the supervisor re-executes
+// this test binary with TR_CLUSTER_WORKER=1, MaybeWorker intercepts
+// before any test runs, and the worker inherits the -race runtime of the
+// test build.
+func TestMain(m *testing.M) {
+	if MaybeWorker() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// expectedCounts derives the per-item reference totals sequentially.
+func expectedCounts(seed int64, n, users, items int) map[string]int64 {
+	out := make(map[string]int64)
+	for _, a := range GenActions(seed, n, users, items) {
+		out[a.Item]++
+	}
+	return out
+}
+
+func checkExact(t *testing.T, dir string, seed int64, n, users, items int) {
+	t.Helper()
+	got, delivered, dups, err := ReadCounts(dir)
+	if err != nil {
+		t.Fatalf("ReadCounts: %v", err)
+	}
+	if delivered != int64(n) {
+		t.Errorf("delivered = %d, want %d (dups filtered: %d)", delivered, n, dups)
+	}
+	want := expectedCounts(seed, n, users, items)
+	if len(got) != len(want) {
+		t.Errorf("item cardinality = %d, want %d", len(got), len(want))
+	}
+	for item, wc := range want {
+		if got[item] != wc {
+			t.Errorf("item %s: count = %d, want %d", item, got[item], wc)
+		}
+	}
+	for item := range got {
+		if _, ok := want[item]; !ok {
+			t.Errorf("unexpected item %s in output", item)
+		}
+	}
+}
+
+func waitCompleted(t *testing.T, sup *Supervisor, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-sup.Completed():
+	case <-time.After(timeout):
+		sup.Close()
+		t.Fatal("cluster did not complete in time")
+	}
+}
+
+// watchSSE consumes /cluster/metrics/stream, counting metric events and
+// remembering whether any carried a non-empty family set. Returns after
+// the terminal "completed" event (the handler closes the stream).
+func watchSSE(t *testing.T, url string, events *atomic.Int64, sawData *atomic.Bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/cluster/metrics/stream?interval_ms=150")
+	if err != nil {
+		t.Errorf("SSE connect: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: metrics") {
+			events.Add(1)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var snap struct {
+				Families map[string]json.RawMessage `json:"families"`
+			}
+			if json.Unmarshal([]byte(line[len("data: "):]), &snap) == nil && len(snap.Families) > 0 {
+				sawData.Store(true)
+			}
+		}
+	}
+}
+
+// TestClusterProcSmoke runs a supervisor plus two real worker processes:
+// spout on worker 0, counting sink on worker 1, all tuples crossing the
+// wire, final counts exact against the sequential reference.
+func TestClusterProcSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	out := t.TempDir()
+	sup, err := NewSupervisor(SupervisorConfig{Cluster: "smoke", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	const seed, n, users, items = 7, 2000, 50, 20
+	spec := &Spec{
+		Name: "smoke", Workers: 2, Acking: true, AckTimeoutMS: 5000,
+		Spouts: []ComponentSpec{{
+			Name: "actions", Kind: "actions", Parallelism: 1,
+			Params: map[string]string{"seed": "7", "count": "2000", "users": "50", "items": "20"},
+		}},
+		Bolts: []ComponentSpec{{
+			Name: "count", Kind: "count", Parallelism: 1, TickMS: 100,
+			Params: map[string]string{"out": out},
+			Inputs: []InputSpec{{Source: "actions", Grouping: "field", Fields: []string{"item"}}},
+		}},
+	}
+	if err := sup.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, sup, 60*time.Second)
+	checkExact(t, out, seed, n, users, items)
+
+	// Both components must have run in worker processes, not in-process.
+	st := clusterStatus(t, sup.URL())
+	if st["state"] != "completed" {
+		t.Errorf("status state = %v, want completed", st["state"])
+	}
+}
+
+func clusterStatus(t *testing.T, url string) map[string]interface{} {
+	t.Helper()
+	resp, err := http.Get(url + "/cluster/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return st
+}
+
+// TestClusterProcessKillSoak is the PR's acceptance gate: a three-worker
+// pipeline (source → relay → count) with acking, where the middle worker
+// is kill -9'd mid-stream. The supervisor must restart it, the acker must
+// replay what died with it, SSE metrics must be observable during the
+// run, and the final counts must match the sequential reference exactly.
+func TestClusterProcessKillSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	out := t.TempDir()
+	sup, err := NewSupervisor(SupervisorConfig{Cluster: "soak", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	const seed, n, users, items = 42, 2500, 80, 25
+	spec := &Spec{
+		Name: "soak", Workers: 3, Acking: true, AckTimeoutMS: 3000,
+		Assign: map[string]int{"relay": 1, "count": 2},
+		Spouts: []ComponentSpec{{
+			Name: "actions", Kind: "actions", Parallelism: 1,
+			Params: map[string]string{
+				"seed": "42", "count": strconv.Itoa(n), "users": "80", "items": "25",
+			},
+		}},
+		Bolts: []ComponentSpec{
+			{
+				Name: "relay", Kind: "relay", Parallelism: 2,
+				Params: map[string]string{"delay_us": "200"},
+				Inputs: []InputSpec{{Source: "actions", Grouping: "shuffle"}},
+			},
+			{
+				Name: "count", Kind: "count", Parallelism: 1, TickMS: 100,
+				Params: map[string]string{"out": out},
+				Inputs: []InputSpec{{Source: "relay", Grouping: "field", Fields: []string{"item"}}},
+			},
+		},
+	}
+	if err := sup.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	var events atomic.Int64
+	var sawData atomic.Bool
+	sseDone := make(chan struct{})
+	go func() {
+		defer close(sseDone)
+		watchSSE(t, sup.URL(), &events, &sawData)
+	}()
+
+	// Let the stream get moving, then kill the relay worker for real.
+	time.Sleep(400 * time.Millisecond)
+	resp, err := http.Post(sup.URL()+"/cluster/kill?worker=1", "", nil)
+	if err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kill: status %d", resp.StatusCode)
+	}
+
+	waitCompleted(t, sup, 120*time.Second)
+	select {
+	case <-sseDone:
+	case <-time.After(10 * time.Second):
+		t.Error("SSE stream did not terminate after completion")
+	}
+
+	checkExact(t, out, seed, n, users, items)
+
+	if events.Load() < 2 {
+		t.Errorf("observed only %d SSE metric events during the run", events.Load())
+	}
+	if !sawData.Load() {
+		t.Error("no SSE event carried metric families")
+	}
+
+	st := clusterStatus(t, sup.URL())
+	restarts := workerRestarts(t, st, 1)
+	if restarts < 1 {
+		t.Errorf("worker 1 restarts = %d, want >= 1 (was it really killed?)", restarts)
+	}
+}
+
+func workerRestarts(t *testing.T, st map[string]interface{}, id int) int {
+	t.Helper()
+	workers, _ := st["workers"].([]interface{})
+	for _, w := range workers {
+		m, _ := w.(map[string]interface{})
+		if m == nil {
+			continue
+		}
+		if wid, _ := m["id"].(float64); int(wid) == id {
+			r, _ := m["restarts"].(float64)
+			return int(r)
+		}
+	}
+	t.Fatalf("worker %d not in status: %v", id, st["workers"])
+	return 0
+}
+
+// TestClusterRebalanceProxy exercises the supervisor → worker rebalance
+// proxy against a live cluster, including the 404 contract for unknown
+// components. The rebalanced component is the stateless relay, not the
+// counting sink: engine rebalance retires the old task set and installs
+// fresh bolt instances, so a per-task stateful sink (count's task-keyed
+// files) would lose its pre-rebalance tallies by design.
+func TestClusterRebalanceProxy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	out := t.TempDir()
+	sup, err := NewSupervisor(SupervisorConfig{Cluster: "rebal", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	spec := &Spec{
+		Name: "rebal", Workers: 2, Acking: true, AckTimeoutMS: 5000,
+		Spouts: []ComponentSpec{{
+			Name: "actions", Kind: "actions", Parallelism: 1,
+			Params: map[string]string{"seed": "3", "count": "4000", "users": "50", "items": "20"},
+		}},
+		Bolts: []ComponentSpec{{
+			// The relay's per-tuple delay keeps the topology running for
+			// a couple of seconds so the rebalance below lands while the
+			// hosting worker is still alive (without -race the raw run
+			// completes faster than the first proxy attempt).
+			Name: "relay", Kind: "relay", Parallelism: 1,
+			Params: map[string]string{"delay_us": "500"},
+			Inputs: []InputSpec{{Source: "actions", Grouping: "shuffle"}},
+		}, {
+			Name: "count", Kind: "count", Parallelism: 1, TickMS: 100,
+			Params: map[string]string{"out": out},
+			Inputs: []InputSpec{{Source: "relay", Grouping: "field", Fields: []string{"item"}}},
+		}},
+	}
+	if err := sup.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the hosting worker has registered.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := clusterStatus(t, sup.URL())
+		if st["state"] == "running" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	post := func(component string, par int) int {
+		body := fmt.Sprintf(`{"component":%q,"parallelism":%d}`, component, par)
+		resp, err := http.Post(sup.URL()+"/control/rebalance", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("rebalance: %v", err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	// The worker may still be booting its topology; retry briefly. The
+	// successful call can itself take a while: engine rebalance drains
+	// every in-flight tuple through the old task set before swapping.
+	code := 0
+	for time.Now().Before(deadline) {
+		if code = post("relay", 3); code == http.StatusOK {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if code != http.StatusOK {
+		t.Errorf("rebalance relay: status %d", code)
+	}
+	if code := post("nonexistent", 2); code != http.StatusNotFound {
+		t.Errorf("rebalance unknown component: status %d, want 404", code)
+	}
+
+	waitCompleted(t, sup, 60*time.Second)
+	checkExact(t, out, 3, 4000, 50, 20)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func soakSpec() *Spec {
+	return &Spec{
+		Name: "t", Workers: 3,
+		Spouts: []ComponentSpec{{Name: "src", Kind: "actions", Parallelism: 1}},
+		Bolts: []ComponentSpec{
+			{Name: "mid", Kind: "relay", Inputs: []InputSpec{{Source: "src"}}},
+			{Name: "sink", Kind: "count", Inputs: []InputSpec{{Source: "mid", Grouping: "field", Fields: []string{"item"}}}},
+		},
+	}
+}
+
+func TestPlanSpecDeterministic(t *testing.T) {
+	a, err := PlanSpec(soakSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanSpec(soakSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("planning is not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Assign["src"] != 0 {
+		t.Errorf("spout on worker %d, want 0", a.Assign["src"])
+	}
+	if a.Assign["mid"] == 0 || a.Assign["sink"] == 0 {
+		t.Errorf("bolts landed on the spout worker: %v", a.Assign)
+	}
+	if a.Assign["mid"] == a.Assign["sink"] {
+		t.Errorf("bolts not spread: %v", a.Assign)
+	}
+}
+
+func TestPlanDrainOrderUpstreamFirst(t *testing.T) {
+	s := soakSpec()
+	s.Assign = map[string]int{"mid": 1, "sink": 2}
+	p, err := PlanSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	if !reflect.DeepEqual(p.DrainOrder, want) {
+		t.Errorf("drain order = %v, want %v", p.DrainOrder, want)
+	}
+	// Reverse the pin: the drain order must follow the dataflow, not ids.
+	s = soakSpec()
+	s.Assign = map[string]int{"mid": 2, "sink": 1}
+	p, err = PlanSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{0, 2, 1}
+	if !reflect.DeepEqual(p.DrainOrder, want) {
+		t.Errorf("drain order = %v, want %v", p.DrainOrder, want)
+	}
+}
+
+func TestPlanWorkersClamped(t *testing.T) {
+	s := soakSpec()
+	s.Workers = 50
+	p, err := PlanSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers != 3 { // 1 + 2 bolts
+		t.Errorf("workers = %d, want clamp to 3", p.Workers)
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"no spouts", func(s *Spec) { s.Spouts = nil }, "no spouts"},
+		{"unknown kind", func(s *Spec) { s.Bolts[0].Kind = "nope" }, "unknown bolt kind"},
+		{"dup name", func(s *Spec) { s.Bolts[1].Name = "mid" }, "duplicate component"},
+		{"no inputs", func(s *Spec) { s.Bolts[0].Inputs = nil }, "has no inputs"},
+		{"unknown source", func(s *Spec) { s.Bolts[0].Inputs[0].Source = "ghost" }, "unknown component"},
+		{"bad grouping", func(s *Spec) { s.Bolts[0].Inputs[0].Grouping = "sideways" }, "unknown grouping"},
+		{"fieldless fields", func(s *Spec) { s.Bolts[1].Inputs[0].Fields = nil }, "needs fields"},
+		{"spout off zero", func(s *Spec) { s.Assign = map[string]int{"src": 1} }, "worker 0"},
+		{"assign unknown", func(s *Spec) { s.Assign = map[string]int{"ghost": 1} }, "unknown component"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := soakSpec()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s := soakSpec()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("spec round trip mismatch:\n%+v\n%+v", got, s)
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("spoutless spec parsed without error")
+	}
+}
+
+func TestOutputFieldsFromKind(t *testing.T) {
+	s := soakSpec()
+	f := s.outputFields("src", "default")
+	want := []string{"user", "item", "weight", "msgid"}
+	if !reflect.DeepEqual([]string(f), want) {
+		t.Errorf("outputFields(src) = %v, want %v", f, want)
+	}
+	if s.outputFields("src", "nope") != nil {
+		t.Error("undeclared stream resolved")
+	}
+	if s.outputFields("ghost", "default") != nil {
+		t.Error("unknown component resolved")
+	}
+}

@@ -1,0 +1,385 @@
+// Package cluster is the out-of-process runtime for the stream engine: a
+// supervisor process spawns worker processes, each hosting a partition of
+// a topology's components, connected by a binary tuple protocol over TCP.
+//
+// The paper's TencentRec runs on a real Storm cluster — Nimbus scheduling
+// topologies across ~1500 machines of supervised workers (§3.1). This
+// package is that shape in miniature: the supervisor plays Nimbus (spawn,
+// monitor, restart with backoff, control plane), workers play Storm
+// supervisors+executors (a stream.Topology slice per process), and the
+// wire protocol plays the tuple transport. Cross-process edges reuse the
+// in-process engine's micro-batch discipline (PR 2) and the statecodec
+// byte conventions, and lineage acking spans processes through the relay
+// hooks of internal/stream/relay.go, so at-least-once delivery survives
+// kill -9 of any worker. See DESIGN.md §18.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"tencentrec/internal/statecodec"
+	"tencentrec/internal/stream"
+)
+
+// Frame layout, shared with the tdaccess plog: crc32(payload) | len | payload,
+// both fixed32 little-endian, with payload[0] the frame type. The CRC is
+// over the whole payload including the type byte, so a flipped type is a
+// CRC error, not a misdispatch.
+const (
+	frameHeaderLen = 8
+	// MaxFrame bounds a single frame's payload; a length prefix beyond it
+	// is treated as corruption, bounding decoder allocation on torn or
+	// hostile input.
+	MaxFrame = 8 << 20
+)
+
+// Frame types.
+const (
+	// FrameHello opens every connection, both directions: magic, protocol
+	// version, cluster name, sender worker id, sender incarnation.
+	FrameHello byte = 1
+	// FrameBatch carries one micro-batch of tuples for a single
+	// (source component, stream) edge.
+	FrameBatch byte = 2
+	// FrameAcks carries lineage updates toward the acker worker.
+	FrameAcks byte = 3
+)
+
+// WireMagic and WireVersion open the hello payload; a peer speaking a
+// different protocol revision is rejected at handshake, never mid-stream.
+const (
+	WireMagic   = "TRCW"
+	WireVersion = 1
+)
+
+// Value type tags. int and int64 are distinct so a tuple round-trips with
+// the exact dynamic types the in-process engine would deliver (fields
+// grouping hashes int and int64 identically, but bolts type-assert).
+const (
+	valNil    byte = 0
+	valString byte = 1
+	valInt64  byte = 2
+	valFloat  byte = 3
+	valTrue   byte = 4
+	valFalse  byte = 5
+	valBytes  byte = 6
+	valInt    byte = 7
+)
+
+// ErrFrameCorrupt reports a frame whose header or checksum is invalid.
+var ErrFrameCorrupt = errors.New("cluster: frame corrupt")
+
+// Hello identifies a connecting peer.
+type Hello struct {
+	Cluster     string
+	Worker      int
+	Incarnation uint64
+}
+
+// WireTuple is one tuple crossing a process boundary: its payload plus
+// the lineage pair minted by the sender's AnchorRemote (zero when
+// unanchored).
+type WireTuple struct {
+	Root   uint64
+	ID     uint64
+	Values stream.Values
+}
+
+// WriteFrame writes crc|len|payload to w. The payload must already carry
+// its type byte at payload[0].
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("cluster: empty frame payload")
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("cluster: frame payload %d exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// FrameReader reads frames from a stream, reusing one decode buffer: the
+// returned payload is valid only until the next call to Next.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r. The reader owns its buffering; callers must not
+// read from r directly afterwards.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads one frame and returns its payload (type byte at [0]). A torn
+// header or body returns io.ErrUnexpectedEOF; a bad length or checksum
+// returns ErrFrameCorrupt. Never panics on malformed input.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	want := binary.LittleEndian.Uint32(hdr[0:4])
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	if size == 0 || size > MaxFrame {
+		return nil, fmt.Errorf("%w: payload length %d", ErrFrameCorrupt, size)
+	}
+	if cap(fr.buf) < int(size) {
+		fr.buf = make([]byte, size)
+	}
+	body := fr.buf[:size]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return body, nil
+}
+
+// EncodeHello appends a hello payload to buf.
+func EncodeHello(buf []byte, h Hello) []byte {
+	buf = append(buf, FrameHello)
+	buf = append(buf, WireMagic...)
+	buf = append(buf, WireVersion)
+	buf = statecodec.AppendString(buf, h.Cluster)
+	buf = binary.AppendUvarint(buf, uint64(h.Worker))
+	buf = binary.AppendUvarint(buf, h.Incarnation)
+	return buf
+}
+
+// DecodeHello parses a hello payload, rejecting wrong magic or version.
+func DecodeHello(payload []byte) (Hello, error) {
+	var h Hello
+	if len(payload) < 1+len(WireMagic)+1 || payload[0] != FrameHello {
+		return h, fmt.Errorf("%w: not a hello frame", ErrFrameCorrupt)
+	}
+	b := payload[1:]
+	if string(b[:len(WireMagic)]) != WireMagic {
+		return h, fmt.Errorf("cluster: bad wire magic %q", b[:len(WireMagic)])
+	}
+	b = b[len(WireMagic):]
+	if b[0] != WireVersion {
+		return h, fmt.Errorf("cluster: wire version %d, want %d", b[0], WireVersion)
+	}
+	b = b[1:]
+	var err error
+	if h.Cluster, b, err = statecodec.ReadString(b, "hello cluster"); err != nil {
+		return h, err
+	}
+	worker, n := binary.Uvarint(b)
+	if n <= 0 || worker > math.MaxInt32 {
+		return h, fmt.Errorf("%w: hello worker id", ErrFrameCorrupt)
+	}
+	h.Worker = int(worker)
+	b = b[n:]
+	if h.Incarnation, n = binary.Uvarint(b); n <= 0 {
+		return h, fmt.Errorf("%w: hello incarnation", ErrFrameCorrupt)
+	}
+	return h, nil
+}
+
+// EncodeBatch appends a batch payload for one (src, stream) edge to buf.
+func EncodeBatch(buf []byte, src, streamID string, tuples []WireTuple) []byte {
+	buf = append(buf, FrameBatch)
+	buf = statecodec.AppendString(buf, src)
+	buf = statecodec.AppendString(buf, streamID)
+	buf = binary.AppendUvarint(buf, uint64(len(tuples)))
+	for i := range tuples {
+		t := &tuples[i]
+		buf = binary.LittleEndian.AppendUint64(buf, t.Root)
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Values)))
+		for _, v := range t.Values {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeBatch parses a batch payload. Tuples are appended to dst (may be
+// nil); the returned slice aliases dst's backing array when capacity
+// allows. Decoded strings and byte slices are fresh allocations, safe to
+// retain beyond the frame buffer's reuse.
+func DecodeBatch(payload []byte, dst []WireTuple) (src, streamID string, tuples []WireTuple, err error) {
+	if len(payload) < 1 || payload[0] != FrameBatch {
+		return "", "", nil, fmt.Errorf("%w: not a batch frame", ErrFrameCorrupt)
+	}
+	b := payload[1:]
+	if src, b, err = statecodec.ReadString(b, "batch src"); err != nil {
+		return "", "", nil, err
+	}
+	if streamID, b, err = statecodec.ReadString(b, "batch stream"); err != nil {
+		return "", "", nil, err
+	}
+	count, b, err := statecodec.ReadCount(b, "batch tuples")
+	if err != nil {
+		return "", "", nil, err
+	}
+	tuples = dst
+	for i := 0; i < count; i++ {
+		var t WireTuple
+		if len(b) < 16 {
+			return "", "", nil, fmt.Errorf("%w: tuple lineage truncated", ErrFrameCorrupt)
+		}
+		t.Root = binary.LittleEndian.Uint64(b)
+		t.ID = binary.LittleEndian.Uint64(b[8:])
+		b = b[16:]
+		nvals, nb, err := statecodec.ReadCount(b, "tuple values")
+		if err != nil {
+			return "", "", nil, err
+		}
+		b = nb
+		if nvals > 0 {
+			t.Values = make(stream.Values, 0, nvals)
+			for j := 0; j < nvals; j++ {
+				var v interface{}
+				if v, b, err = readValue(b); err != nil {
+					return "", "", nil, err
+				}
+				t.Values = append(t.Values, v)
+			}
+		}
+		tuples = append(tuples, t)
+	}
+	if len(b) != 0 {
+		return "", "", nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrFrameCorrupt, len(b))
+	}
+	return src, streamID, tuples, nil
+}
+
+// EncodeAcks appends an acks payload to buf.
+func EncodeAcks(buf []byte, updates []stream.AckUpdate) []byte {
+	buf = append(buf, FrameAcks)
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	for _, u := range updates {
+		flags := byte(0)
+		if u.Fail {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, u.Root)
+		buf = binary.LittleEndian.AppendUint64(buf, u.Xor)
+	}
+	return buf
+}
+
+// DecodeAcks parses an acks payload, appending to dst.
+func DecodeAcks(payload []byte, dst []stream.AckUpdate) ([]stream.AckUpdate, error) {
+	if len(payload) < 1 || payload[0] != FrameAcks {
+		return nil, fmt.Errorf("%w: not an acks frame", ErrFrameCorrupt)
+	}
+	b := payload[1:]
+	count, b, err := statecodec.ReadCount(b, "ack updates")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		if len(b) < 17 {
+			return nil, fmt.Errorf("%w: ack update truncated", ErrFrameCorrupt)
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: ack flags %#x", ErrFrameCorrupt, b[0])
+		}
+		dst = append(dst, stream.AckUpdate{
+			Fail: b[0] == 1,
+			Root: binary.LittleEndian.Uint64(b[1:]),
+			Xor:  binary.LittleEndian.Uint64(b[9:]),
+		})
+		b = b[17:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after acks", ErrFrameCorrupt, len(b))
+	}
+	return dst, nil
+}
+
+// appendValue encodes one tuple value. The scalar types the engine's
+// grouping hash knows (tuple.go hashValue) are the types the wire knows;
+// anything else is rejected at send time so the error surfaces at the
+// component that emitted it, not at a remote decoder.
+func appendValue(buf []byte, v interface{}) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, valNil)
+	case string:
+		return statecodec.AppendString(append(buf, valString), x)
+	case int:
+		return binary.AppendVarint(append(buf, valInt), int64(x))
+	case int64:
+		return binary.AppendVarint(append(buf, valInt64), x)
+	case float64:
+		return statecodec.AppendFloat(append(buf, valFloat), x)
+	case bool:
+		if x {
+			return append(buf, valTrue)
+		}
+		return append(buf, valFalse)
+	case []byte:
+		buf = append(buf, valBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		return append(buf, x...)
+	default:
+		panic(fmt.Sprintf("cluster: value type %T cannot cross a process boundary "+
+			"(wire types: nil, string, int, int64, float64, bool, []byte)", v))
+	}
+}
+
+func readValue(b []byte) (interface{}, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("%w: value tag truncated", ErrFrameCorrupt)
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case valNil:
+		return nil, b, nil
+	case valString:
+		s, rest, err := statecodec.ReadString(b, "tuple value")
+		return s, rest, err
+	case valInt, valInt64:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: varint value", ErrFrameCorrupt)
+		}
+		if tag == valInt {
+			if v > math.MaxInt || v < math.MinInt {
+				return nil, nil, fmt.Errorf("%w: int value overflows", ErrFrameCorrupt)
+			}
+			return int(v), b[n:], nil
+		}
+		return v, b[n:], nil
+	case valFloat:
+		f, rest, err := statecodec.ReadFloat(b, "tuple value")
+		return f, rest, err
+	case valTrue:
+		return true, b, nil
+	case valFalse:
+		return false, b, nil
+	case valBytes:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n > uint64(len(b)-sz) {
+			return nil, nil, fmt.Errorf("%w: bytes value length", ErrFrameCorrupt)
+		}
+		out := make([]byte, n)
+		copy(out, b[sz:sz+int(n)])
+		return out, b[sz+int(n):], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown value tag %#x", ErrFrameCorrupt, tag)
+	}
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tencentrec/internal/obsv"
+	"tencentrec/internal/stream"
+)
+
+// A worker process hosts one stream.Topology: the components the plan
+// assigns to it, plus the proxies that stitch its remote edges:
+//
+//   - for every remote edge leaving this worker, an egress proxy bolt
+//     ("__out/<src>/<stream>/w<dest>") subscribes shuffle to the source
+//     stream, remote-anchors each tuple, and ships micro-batches through
+//     the transport (flushed on batch threshold and on a linger tick);
+//   - for every remote edge arriving here, an ingress proxy spout
+//     ("__in/<src>/<stream>") re-emits received tuples under their wire
+//     lineage on the source's declared stream, so local subscribers use
+//     their ORIGINAL groupings — fields grouping, rebalance, and
+//     backpressure behave exactly as in-process within the worker.
+//
+// Worker 0 hosts every spout and the topology's real acker; other
+// workers run in ack-forward mode, shipping lineage updates to worker 0.
+
+// proxy component name prefixes; names are engine-internal and never
+// collide with user components (the spec validator rejects "/" in names
+// implicitly via kind registration conventions).
+func proxyInName(src, streamID string) string { return "__in/" + src + "/" + streamID }
+func proxyOutName(src, streamID string, dest int) string {
+	return fmt.Sprintf("__out/%s/%s/w%d", src, streamID, dest)
+}
+
+type edgeKey struct{ src, stream string }
+
+// proxySpout re-emits tuples received from the transport.
+type proxySpout struct {
+	q        chan []WireTuple
+	streamID string
+	col      stream.SpoutCollector
+}
+
+func (s *proxySpout) Open(_ stream.TopologyContext, col stream.SpoutCollector) error {
+	s.col = col
+	return nil
+}
+
+func (s *proxySpout) NextTuple() bool {
+	select {
+	case batch := <-s.q:
+		rc := s.col.(stream.RelayCollector)
+		for i := range batch {
+			rc.EmitRelayed(s.streamID, batch[i].Values, batch[i].Root, batch[i].ID)
+		}
+	case <-time.After(time.Millisecond):
+	}
+	return true // never exhausts; the engine stops it on Stop()
+}
+
+func (s *proxySpout) Close() {}
+
+// proxyBolt forwards a source stream to one remote worker, micro-batched.
+type proxyBolt struct {
+	eg       *egress
+	dest     int
+	src      string
+	streamID string
+	maxBatch int
+
+	col   stream.Collector
+	batch []WireTuple
+}
+
+func (b *proxyBolt) Prepare(_ stream.TopologyContext, col stream.Collector) error {
+	b.col = col
+	return nil
+}
+
+func (b *proxyBolt) Execute(t *stream.Tuple) error {
+	if t.IsTick() {
+		b.flush()
+		return nil
+	}
+	root, id := b.col.(stream.RemoteAnchorer).AnchorRemote()
+	// The tuple's Values slice is recycled after Execute; copy it out.
+	vals := make(stream.Values, len(t.Values))
+	copy(vals, t.Values)
+	b.batch = append(b.batch, WireTuple{Root: root, ID: id, Values: vals})
+	if len(b.batch) >= b.maxBatch {
+		b.flush()
+	}
+	return nil
+}
+
+func (b *proxyBolt) flush() {
+	if len(b.batch) == 0 {
+		return
+	}
+	b.eg.sendBatch(b.dest, EncodeBatch(nil, b.src, b.streamID, b.batch))
+	b.batch = b.batch[:0]
+}
+
+func (b *proxyBolt) Cleanup() { b.flush() }
+
+// proxyFlushTick is the egress proxy's linger: a sub-threshold batch
+// waits at most this long, the wire analog of stream.DefaultLinger.
+const proxyFlushTick = 2 * time.Millisecond
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	Cluster       string
+	ID            int
+	SupervisorURL string
+}
+
+// Env var names used to spawn workers as re-executions of the current
+// binary (see Supervisor and MaybeWorker).
+const (
+	envWorkerFlag = "TR_CLUSTER_WORKER"
+	envSupervisor = "TR_SUPERVISOR"
+	envWorkerID   = "TR_WORKER_ID"
+	envCluster    = "TR_CLUSTER_NAME"
+)
+
+// MaybeWorker runs the worker main and returns true when the process was
+// spawned as a cluster worker (TR_CLUSTER_WORKER=1). Call it first thing
+// in main() of any binary used as a worker command — including TestMain
+// of process-spawning tests.
+func MaybeWorker() bool {
+	if os.Getenv(envWorkerFlag) != "1" {
+		return false
+	}
+	id, _ := strconv.Atoi(os.Getenv(envWorkerID))
+	cfg := WorkerConfig{
+		Cluster:       os.Getenv(envCluster),
+		ID:            id,
+		SupervisorURL: os.Getenv(envSupervisor),
+	}
+	if err := RunWorker(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker %d: %v\n", cfg.ID, err)
+		os.Exit(1)
+	}
+	return true
+}
+
+// registerReq/registerResp are the worker↔supervisor registration
+// exchange; the response carries everything the worker needs to build
+// its topology slice.
+type registerReq struct {
+	Worker   int    `json:"worker"`
+	PID      int    `json:"pid"`
+	DataAddr string `json:"data_addr"`
+	HTTPAddr string `json:"http_addr"`
+}
+
+type registerResp struct {
+	Incarnation uint64 `json:"incarnation"`
+	Spec        *Spec  `json:"spec"`
+	Plan        *Plan  `json:"plan"`
+}
+
+// planPeer is one worker's connectivity info in GET /cluster/plan.
+type planPeer struct {
+	ID          int    `json:"id"`
+	State       string `json:"state"`
+	DataAddr    string `json:"data_addr"`
+	HTTPAddr    string `json:"http_addr"`
+	Incarnation uint64 `json:"incarnation"`
+	PID         int    `json:"pid"`
+	Restarts    int    `json:"restarts"`
+}
+
+type planResp struct {
+	Version int        `json:"version"`
+	Peers   []planPeer `json:"peers"`
+}
+
+// RunWorker is the worker main: register, build the local topology
+// slice, serve ingress, and run until exhaustion (source worker) or a
+// supervisor-initiated drain. Returns once the worker's part is done.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.SupervisorURL == "" {
+		return fmt.Errorf("cluster: worker needs a supervisor URL")
+	}
+	reg := obsv.NewRegistry()
+	met := newWireMetrics(reg)
+	incarn := uint64(os.Getpid())
+
+	ig, err := newIngress(cfg.Cluster, cfg.ID, incarn, met)
+	if err != nil {
+		return err
+	}
+	defer ig.close()
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer httpLn.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Register: the supervisor replies with the spec and the plan.
+	body, _ := json.Marshal(registerReq{
+		Worker: cfg.ID, PID: os.Getpid(),
+		DataAddr: ig.addr(), HTTPAddr: httpLn.Addr().String(),
+	})
+	resp, err := client.Post(cfg.SupervisorURL+"/cluster/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: register: %w", err)
+	}
+	var rr registerResp
+	err = json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if err != nil || rr.Spec == nil || rr.Plan == nil {
+		return fmt.Errorf("cluster: register response invalid (%v)", err)
+	}
+	spec, plan := rr.Spec, rr.Plan
+
+	// Resolver consulted by egress senders (re-queried after failures, so
+	// a restarted peer's fresh port is picked up).
+	resolve := func(peer int) string {
+		resp, err := client.Get(cfg.SupervisorURL + "/cluster/plan")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		var pr planResp
+		if json.NewDecoder(resp.Body).Decode(&pr) != nil {
+			return ""
+		}
+		for _, p := range pr.Peers {
+			if p.ID == peer && p.State == "running" {
+				return p.DataAddr
+			}
+		}
+		return ""
+	}
+	eg := newEgress(cfg.Cluster, cfg.ID, incarn, resolve, met)
+
+	inQueues := make(map[edgeKey]chan []WireTuple)
+	topo, hostsSpout, err := buildLocal(spec, plan, cfg.ID, reg, eg, inQueues)
+	if err != nil {
+		return err
+	}
+
+	var h *stream.RunningTopology
+	var draining atomic.Bool
+	done := make(chan error, 2)
+
+	if topo != nil {
+		h = topo.SubmitWithErrorHandler(func(component string, err error) {
+			fmt.Fprintf(os.Stderr, "worker %d: component %s: %v\n", cfg.ID, component, err)
+		})
+		ig.start(
+			func(src, streamID string, tuples []WireTuple) {
+				if q, ok := inQueues[edgeKey{src, streamID}]; ok {
+					q <- tuples
+				}
+				// Unknown edge: a stale sender; drop, the acker replays.
+			},
+			func(updates []stream.AckUpdate) {
+				if cfg.ID == 0 {
+					_ = h.InjectAcks(updates) // post-shutdown injection is moot
+				}
+			},
+		)
+	} else {
+		ig.start(func(string, string, []WireTuple) {}, nil)
+	}
+
+	// Worker HTTP: observability, drain, rebalance proxy target.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("POST /control/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Component   string `json:"component"`
+			Parallelism int    `json:"parallelism"`
+		}
+		q := r.URL.Query()
+		if q.Get("component") != "" {
+			body.Component = q.Get("component")
+			body.Parallelism, _ = strconv.Atoi(q.Get("parallelism"))
+		} else if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "need component and parallelism", http.StatusBadRequest)
+			return
+		}
+		if h == nil {
+			http.Error(w, "worker hosts no topology", http.StatusConflict)
+			return
+		}
+		if err := h.Rebalance(body.Component, body.Parallelism); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"component":%q,"parallelism":%d}`+"\n", body.Component, body.Parallelism)
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, _ *http.Request) {
+		if !draining.CompareAndSwap(false, true) {
+			fmt.Fprintln(w, "already draining")
+			return
+		}
+		// Upstream workers have exited by the time the supervisor sends
+		// /drain; wait for their connections to finish delivering.
+		deadline := time.Now().Add(20 * time.Second)
+		for ig.openConns() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if h != nil {
+			h.Stop()
+			h.Wait()
+		}
+		eg.close(2 * time.Second)
+		fmt.Fprintln(w, "drained")
+		done <- nil
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(httpLn) }()
+	defer srv.Close()
+
+	// Source workers finish on their own once spouts exhaust and every
+	// lineage resolves; report exhaustion so the supervisor cascades the
+	// drain downstream.
+	if hostsSpout && h != nil {
+		go func() {
+			h.Wait()
+			if draining.CompareAndSwap(false, true) {
+				eg.close(2 * time.Second)
+				resp, err := client.Post(fmt.Sprintf("%s/cluster/exhausted?worker=%d", cfg.SupervisorURL, cfg.ID), "", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+				done <- nil
+			}
+		}()
+	}
+
+	// Orphan guard: a worker whose supervisor vanished must not linger.
+	go func() {
+		fails := 0
+		for {
+			time.Sleep(2 * time.Second)
+			resp, err := client.Get(cfg.SupervisorURL + "/cluster/status")
+			if err != nil {
+				if fails++; fails >= 5 {
+					done <- fmt.Errorf("cluster: supervisor unreachable, exiting")
+					return
+				}
+				continue
+			}
+			resp.Body.Close()
+			fails = 0
+		}
+	}()
+
+	return <-done
+}
+
+// buildLocal assembles this worker's slice of the spec's graph. Returns
+// a nil topology when the plan assigns the worker nothing (it still
+// serves HTTP and drains trivially).
+func buildLocal(spec *Spec, plan *Plan, workerID int, reg *obsv.Registry, eg *egress, inQueues map[edgeKey]chan []WireTuple) (*stream.Topology, bool, error) {
+	hostsAny, hostsSpout := false, false
+	for i := range spec.Spouts {
+		if plan.Assign[spec.Spouts[i].Name] == workerID {
+			hostsAny, hostsSpout = true, true
+		}
+	}
+	for i := range spec.Bolts {
+		if plan.Assign[spec.Bolts[i].Name] == workerID {
+			hostsAny = true
+		}
+	}
+	needsIngress := false
+	for i := range spec.Bolts {
+		b := &spec.Bolts[i]
+		if plan.Assign[b.Name] != workerID {
+			continue
+		}
+		for _, in := range b.Inputs {
+			if plan.Assign[in.Source] != workerID {
+				needsIngress = true
+			}
+		}
+	}
+	if !hostsAny {
+		return nil, false, nil
+	}
+	if !hostsSpout && !needsIngress {
+		// Unreachable for a validated spec (every bolt descends from a
+		// spout), but guard anyway: a topology needs at least one spout.
+		return nil, false, fmt.Errorf("cluster: worker %d hosts bolts with no inbound edges", workerID)
+	}
+
+	tb := stream.NewTopologyBuilder(fmt.Sprintf("%s@w%d", spec.Name, workerID))
+	tb.SetMetricsRegistry(reg)
+	if spec.MaxBatch > 0 {
+		tb.SetMaxBatch(spec.MaxBatch)
+	}
+	if spec.QueueDepth > 0 {
+		tb.SetQueueDepth(spec.QueueDepth)
+	}
+	if spec.LingerUS > 0 {
+		tb.SetLinger(spec.linger())
+	}
+	if spec.Acking {
+		tb.SetAcking(true)
+		if spec.AckTimeoutMS > 0 {
+			tb.SetAckTimeout(spec.ackTimeout())
+		}
+		if workerID != 0 {
+			tb.SetAckForwarder(func(updates []stream.AckUpdate) { eg.sendAcks(0, updates) })
+		}
+	}
+
+	maxBatch := spec.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = stream.DefaultMaxBatch
+	}
+
+	for i := range spec.Spouts {
+		sp := &spec.Spouts[i]
+		if plan.Assign[sp.Name] != workerID {
+			continue
+		}
+		kind, params := sp.Kind, sp.Params
+		tb.SetSpout(sp.Name, func() stream.Spout { return newSpoutOfKind(kind, params) }, sp.Parallelism)
+		if len(sp.Outputs) > 0 {
+			outs := make(map[string]stream.Fields, len(sp.Outputs))
+			for id, f := range sp.Outputs {
+				outs[id] = stream.Fields(f)
+			}
+			tb.SetSpoutOutputs(sp.Name, outs)
+		}
+	}
+
+	proxied := make(map[string]bool)
+	for i := range spec.Bolts {
+		b := &spec.Bolts[i]
+		if plan.Assign[b.Name] != workerID {
+			continue
+		}
+		kind, params := b.Kind, b.Params
+		decl := tb.SetBolt(b.Name, func() stream.Bolt { return newBoltOfKind(kind, params) }, b.Parallelism)
+		for _, in := range b.Inputs {
+			g, err := in.grouping()
+			if err != nil {
+				return nil, false, err
+			}
+			if plan.Assign[in.Source] == workerID {
+				decl.On(in.Source, in.stream(), g)
+				continue
+			}
+			pname := proxyInName(in.Source, in.stream())
+			if !proxied[pname] {
+				proxied[pname] = true
+				q := make(chan []WireTuple, 128)
+				inQueues[edgeKey{in.Source, in.stream()}] = q
+				streamID := in.stream()
+				tb.SetSpout(pname, func() stream.Spout { return &proxySpout{q: q, streamID: streamID} }, 1)
+				fields := spec.outputFields(in.Source, streamID)
+				tb.SetSpoutOutputs(pname, map[string]stream.Fields{streamID: fields})
+			}
+			decl.On(pname, in.stream(), g)
+		}
+		if b.TickMS > 0 {
+			decl.Tick(time.Duration(b.TickMS) * time.Millisecond)
+		}
+	}
+
+	// Egress proxies for edges leaving this worker.
+	for i := range spec.Bolts {
+		b := &spec.Bolts[i]
+		dest := plan.Assign[b.Name]
+		if dest == workerID {
+			continue
+		}
+		for _, in := range b.Inputs {
+			if plan.Assign[in.Source] != workerID {
+				continue
+			}
+			oname := proxyOutName(in.Source, in.stream(), dest)
+			if proxied[oname] {
+				continue
+			}
+			proxied[oname] = true
+			src, streamID, d := in.Source, in.stream(), dest
+			tb.SetBolt(oname, func() stream.Bolt {
+				return &proxyBolt{eg: eg, dest: d, src: src, streamID: streamID, maxBatch: maxBatch}
+			}, 1).ShuffleOn(src, streamID).Tick(proxyFlushTick)
+		}
+	}
+
+	topo, err := tb.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	return topo, hostsSpout, nil
+}

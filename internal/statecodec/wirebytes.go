@@ -1,0 +1,26 @@
+package statecodec
+
+// Exported wire-byte primitives. The cluster tuple transport
+// (internal/cluster) frames its payloads with the same conventions as the
+// state codecs in this package — uvarint-prefixed strings, little-endian
+// 64-bit floats, payload-bounded counts — so the primitives are exported
+// here rather than duplicated. The error-on-corruption contract matches
+// the internal readers: a short or lying prefix returns an error, never a
+// panic or an over-read.
+
+// AppendString appends a uvarint length prefix followed by the bytes of s.
+func AppendString(buf []byte, s string) []byte { return appendString(buf, s) }
+
+// ReadString decodes a uvarint-prefixed string, returning the string, the
+// remaining bytes, and an error naming `what` on corruption.
+func ReadString(b []byte, what string) (string, []byte, error) { return readString(b, what) }
+
+// AppendFloat appends v as little-endian IEEE-754 bits.
+func AppendFloat(buf []byte, v float64) []byte { return appendFloat(buf, v) }
+
+// ReadFloat decodes a little-endian float64.
+func ReadFloat(b []byte, what string) (float64, []byte, error) { return readFloat(b, what) }
+
+// ReadCount decodes a uvarint element count, rejecting counts larger than
+// the remaining payload (each encoded element occupies at least a byte).
+func ReadCount(b []byte, what string) (int, []byte, error) { return readCount(b, what) }

@@ -111,6 +111,7 @@ type TopologyBuilder struct {
 	linger     time.Duration
 	acking     bool
 	ackTimeout time.Duration
+	ackForward AckForwarder
 	queueDepth int
 	ackerDepth int
 	bpHigh     int
@@ -353,6 +354,7 @@ func (tb *TopologyBuilder) Build() (*Topology, error) {
 		linger:     tb.linger,
 		acking:     tb.acking,
 		ackTimeout: tb.ackTimeout,
+		ackForward: tb.ackForward,
 		queueDepth: tb.queueDepth,
 		ackerDepth: tb.ackerDepth,
 		bpHigh:     tb.bpHigh,

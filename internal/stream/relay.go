@@ -1,0 +1,134 @@
+package stream
+
+import "errors"
+
+// This file is the stream engine's seam for out-of-process topologies
+// (internal/cluster): a topology partitioned across worker processes
+// keeps ONE acker — in the runtime hosting the spouts — and every other
+// runtime forwards its lineage updates there over the wire. Three small
+// hooks make that work without touching the hot paths:
+//
+//   - AnchorRemote lets a forwarding bolt (an egress proxy) mint a fresh
+//     lineage id for a tuple that is about to LEAVE the runtime, folded
+//     into the executing tuple's ack exactly as a local child would be;
+//   - EmitRelayed lets an ingress proxy spout re-emit a tuple that
+//     ARRIVED from another runtime under its existing lineage
+//     (root, id), acking the wire id against the local delivery ids it
+//     fans out to — the lineage algebra of a bolt execution;
+//   - SetAckForwarder turns a runtime's acker into a pure relay: instead
+//     of resolving roots it hands every update batch to a callback, which
+//     the cluster layer ships to the acker runtime, where InjectAcks
+//     folds them into the real pending map.
+//
+// The XOR accounting telescopes across process boundaries: every id
+// still enters the stream exactly twice (minted on one side of the wire,
+// acked on the other), so a root completes only when every tuple of its
+// tree — on any worker — has been executed, and a worker killed mid-tree
+// leaves the root incomplete until the ack timeout fails it back to the
+// spout for replay. See DESIGN.md §18 for the full contract.
+
+// AckUpdate is one lineage update crossing a process boundary: an ack
+// folds Xor into the root's accumulator, a fail marks the root failed.
+// It is the wire-portable subset of the acker's internal message type
+// (init updates never cross — spouts live with the acker).
+type AckUpdate struct {
+	Fail bool
+	Root uint64
+	Xor  uint64
+}
+
+// AckForwarder receives lineage update batches leaving a relay runtime.
+// Called from the runtime's acker goroutine; the slice is owned by the
+// callee. Implementations must not block indefinitely — the acker
+// goroutine is the only consumer of every task's ack traffic.
+type AckForwarder func(updates []AckUpdate)
+
+// RemoteAnchorer is implemented by the collectors handed to bolts. An
+// egress proxy bolt calls AnchorRemote once per tuple it forwards out of
+// the process, and sends the returned lineage pair with the tuple.
+type RemoteAnchorer interface {
+	// AnchorRemote mints a fresh lineage id for a delivery leaving the
+	// runtime, folded into the currently-executing tuple's ack. Returns
+	// (0, 0) when the executing tuple is unanchored or acking is off —
+	// forward the tuple without lineage in that case.
+	AnchorRemote() (root, id uint64)
+}
+
+// RelayCollector is implemented by the collectors handed to spouts. An
+// ingress proxy spout calls EmitRelayed for each tuple received from
+// another runtime, preserving its lineage.
+type RelayCollector interface {
+	Collector
+	// EmitRelayed emits values on the named stream under an existing
+	// lineage: the tuple's local deliveries are anchored to root, and the
+	// wire id is acked against their ids (id XOR children). With root
+	// zero — an unanchored tuple, or a sending runtime without acking —
+	// it degrades to a plain EmitTo.
+	EmitRelayed(stream string, values Values, root, id uint64)
+}
+
+// AnchorRemote implements RemoteAnchorer.
+func (c *collector) AnchorRemote() (root, id uint64) {
+	if c.curRoot == 0 || c.ak == nil {
+		return 0, 0
+	}
+	id = c.newAckID()
+	c.curXor ^= id
+	return c.curRoot, id
+}
+
+// EmitRelayed implements RelayCollector. It mirrors the acked bolt
+// execute path: the re-emitted tuple's local deliveries get fresh ids
+// XORed against the inbound wire id, and the update is queued to the
+// (forwarding or real) acker on the task's flush schedule.
+func (c *collector) EmitRelayed(stream string, values Values, root, id uint64) {
+	if root == 0 || c.ak == nil {
+		c.emitTo(stream, values)
+		return
+	}
+	c.curRoot, c.curXor = root, id
+	c.emitTo(stream, values)
+	xor := c.curXor
+	c.curRoot = 0
+	c.pushAckerMsg(ackerMsg{kind: ackerAck, root: root, xor: xor})
+}
+
+// SetAckForwarder puts the topology's acker into relay mode: lineage
+// updates from bolts (acks, drop-fails) are batched to fn instead of
+// being resolved locally. Requires SetAcking(true). A relaying runtime
+// hosts no anchoring spouts — EmitAnchored degrades to Emit there, since
+// the spout's init (message id, replay callback) cannot cross the wire.
+func (tb *TopologyBuilder) SetAckForwarder(fn AckForwarder) *TopologyBuilder {
+	tb.ackForward = fn
+	return tb
+}
+
+// InjectAcks folds lineage updates received from relay runtimes into
+// this topology's acker, as if local tasks had produced them. Only valid
+// on the runtime that owns the real acker (acking on, no forwarder).
+func (h *RunningTopology) InjectAcks(updates []AckUpdate) error {
+	rt := h.rt
+	if rt.ak == nil {
+		return errors.New("stream: InjectAcks: acking is disabled on this topology")
+	}
+	if rt.ak.forward != nil {
+		return errors.New("stream: InjectAcks: this runtime forwards acks; inject at the acker runtime")
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	msgs := make([]ackerMsg, len(updates))
+	for i, u := range updates {
+		kind := ackerAck
+		if u.Fail {
+			kind = ackerFail
+		}
+		msgs[i] = ackerMsg{kind: kind, root: u.Root, xor: u.Xor}
+	}
+	select {
+	case rt.ak.in <- msgs:
+		return nil
+	case <-h.done:
+		return errors.New("stream: InjectAcks: topology already shut down")
+	}
+}

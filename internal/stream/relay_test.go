@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The relay tests exercise the cross-runtime lineage seam (relay.go) the
+// way internal/cluster uses it, but with channels in place of TCP: an
+// upstream topology (real acker, anchoring spout, egress proxy bolt)
+// feeds a downstream topology (ingress proxy spout, sink bolt, acker in
+// forward mode) whose lineage updates are injected back upstream.
+
+// wireTuple is a tuple crossing the fake wire.
+type wireTuple struct {
+	root, id uint64
+	vals     Values
+}
+
+// relaySource is the upstream acking spout: emits n anchored messages,
+// replays failures, and exhausts once every message has been acked.
+type relaySource struct {
+	n       int
+	col     SpoutCollector
+	pending []int
+	acked   map[int]bool
+	next    int
+	fails   atomic.Int64
+}
+
+func (s *relaySource) Open(_ TopologyContext, c SpoutCollector) error {
+	s.col = c
+	s.acked = make(map[int]bool)
+	return nil
+}
+
+func (s *relaySource) NextTuple() bool {
+	if len(s.pending) > 0 {
+		id := s.pending[0]
+		s.pending = s.pending[1:]
+		s.col.EmitAnchored(id, Values{id})
+		return true
+	}
+	if s.next < s.n {
+		s.col.EmitAnchored(s.next, Values{s.next})
+		s.next++
+		return true
+	}
+	return len(s.acked) < s.n // exhaust once everything acked
+}
+
+func (s *relaySource) Ack(msgID interface{}) { s.acked[msgID.(int)] = true }
+func (s *relaySource) Fail(msgID interface{}) {
+	s.fails.Add(1)
+	s.pending = append(s.pending, msgID.(int))
+}
+func (s *relaySource) Close() {}
+func (s *relaySource) DeclareOutputFields() map[string]Fields {
+	return map[string]Fields{DefaultStream: {"v"}}
+}
+
+// relayEgress forwards every tuple across the fake wire under a remote
+// anchor; dropNth > 0 drops each value's first attempt when v%dropNth==0,
+// AFTER anchoring — simulating a frame lost to a dead peer.
+type relayEgress struct {
+	wire    chan<- wireTuple
+	dropNth int
+	col     Collector
+	seen    map[int]bool
+}
+
+func (b *relayEgress) Prepare(_ TopologyContext, c Collector) error {
+	b.col = c
+	b.seen = make(map[int]bool)
+	return nil
+}
+
+func (b *relayEgress) Execute(t *Tuple) error {
+	v := t.Value("v").(int)
+	root, id := b.col.(RemoteAnchorer).AnchorRemote()
+	if b.dropNth > 0 && v%b.dropNth == 0 && !b.seen[v] {
+		b.seen[v] = true
+		return nil // anchored but never sent: root must time out and replay
+	}
+	b.wire <- wireTuple{root: root, id: id, vals: Values{v}}
+	return nil
+}
+
+func (b *relayEgress) Cleanup() {}
+
+// relayIngress is the downstream proxy spout: re-emits wire tuples under
+// their inherited lineage.
+type relayIngress struct {
+	wire <-chan wireTuple
+	col  SpoutCollector
+}
+
+func (s *relayIngress) Open(_ TopologyContext, c SpoutCollector) error {
+	s.col = c
+	return nil
+}
+
+func (s *relayIngress) NextTuple() bool {
+	select {
+	case wt := <-s.wire:
+		s.col.(RelayCollector).EmitRelayed(DefaultStream, wt.vals, wt.root, wt.id)
+	case <-time.After(time.Millisecond):
+	}
+	return true
+}
+
+func (s *relayIngress) Close() {}
+func (s *relayIngress) DeclareOutputFields() map[string]Fields {
+	return map[string]Fields{DefaultStream: {"v"}}
+}
+
+// relaySink records distinct values and total deliveries.
+type relaySink struct {
+	mu       sync.Mutex
+	distinct map[int]int
+	total    int
+}
+
+func (b *relaySink) Prepare(TopologyContext, Collector) error { return nil }
+func (b *relaySink) Execute(t *Tuple) error {
+	v := t.Value("v").(int)
+	b.mu.Lock()
+	if b.distinct == nil {
+		b.distinct = make(map[int]int)
+	}
+	b.distinct[v]++
+	b.total++
+	b.mu.Unlock()
+	return nil
+}
+func (b *relaySink) Cleanup() {}
+
+// runRelayPair runs the two-runtime pair to completion and returns the
+// spout, the sink, and the downstream handle's InjectAcks error (if any).
+func runRelayPair(t *testing.T, n, dropNth int) (*relaySource, *relaySink) {
+	t.Helper()
+	wire := make(chan wireTuple, 1024)
+
+	src := &relaySource{n: n}
+	egress := &relayEgress{wire: wire, dropNth: dropNth}
+
+	upB := NewTopologyBuilder("relay-up")
+	upB.SetAcking(true).SetAckTimeout(250 * time.Millisecond).SetLinger(100 * time.Microsecond)
+	upB.SetSpout("src", func() Spout { return src }, 1)
+	upB.SetBolt("egress", func() Bolt { return egress }, 1).Shuffle("src")
+	upT, err := upB.Build()
+	if err != nil {
+		t.Fatalf("build upstream: %v", err)
+	}
+	upH := upT.Submit()
+
+	// Downstream runtime forwards its lineage updates back upstream.
+	sink := &relaySink{}
+	downB := NewTopologyBuilder("relay-down")
+	downB.SetAcking(true).SetLinger(100 * time.Microsecond)
+	downB.SetAckForwarder(func(updates []AckUpdate) {
+		if err := upH.InjectAcks(updates); err != nil {
+			t.Logf("InjectAcks after shutdown: %v", err)
+		}
+	})
+	downB.SetSpout("ingress", func() Spout { return &relayIngress{wire: wire} }, 1)
+	downB.SetBolt("sink", func() Bolt { return sink }, 2).Fields("ingress", "v")
+	downT, err := downB.Build()
+	if err != nil {
+		t.Fatalf("build downstream: %v", err)
+	}
+	downH := downT.Submit()
+
+	waitDone := make(chan struct{})
+	go func() { upH.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("upstream did not complete: acked=%d/%d fails=%d",
+			len(src.acked), n, src.fails.Load())
+	}
+	downH.Stop()
+	return src, sink
+}
+
+// TestRelayLineageCompletes proves the XOR accounting telescopes across
+// the runtime boundary: every anchored message is acked exactly when its
+// downstream execution finished, with zero failures on a clean wire.
+func TestRelayLineageCompletes(t *testing.T) {
+	const n = 500
+	src, sink := runRelayPair(t, n, 0)
+	if len(src.acked) != n {
+		t.Fatalf("acked %d of %d messages", len(src.acked), n)
+	}
+	if f := src.fails.Load(); f != 0 {
+		t.Fatalf("expected no failures on a clean wire, got %d", f)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.distinct) != n || sink.total != n {
+		t.Fatalf("sink saw %d distinct / %d total, want %d/%d", len(sink.distinct), sink.total, n, n)
+	}
+}
+
+// TestRelayReplayAfterWireLoss drops each 7th value's first crossing
+// after it was remote-anchored — the lineage never completes, the root
+// times out, the spout replays — and checks every value still arrives.
+func TestRelayReplayAfterWireLoss(t *testing.T) {
+	const n = 200
+	src, sink := runRelayPair(t, n, 7)
+	if len(src.acked) != n {
+		t.Fatalf("acked %d of %d messages", len(src.acked), n)
+	}
+	if src.fails.Load() == 0 {
+		t.Fatalf("expected ack-timeout failures for dropped frames")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.distinct) != n {
+		t.Fatalf("sink saw %d distinct values, want %d", len(sink.distinct), n)
+	}
+	if sink.total < n {
+		t.Fatalf("sink total %d < %d", sink.total, n)
+	}
+}
+
+// TestInjectAcksGuards covers the misuse paths: acking disabled, and a
+// forwarding runtime refusing injection.
+func TestInjectAcksGuards(t *testing.T) {
+	plain := NewTopologyBuilder("no-ack")
+	plain.SetSpout("s", func() Spout { return &relayIngress{wire: make(chan wireTuple)} }, 1)
+	plain.SetBolt("b", func() Bolt { return &relaySink{} }, 1).Shuffle("s")
+	pt, err := plain.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := pt.Submit()
+	defer ph.Stop()
+	if err := ph.InjectAcks([]AckUpdate{{Root: 1, Xor: 1}}); err == nil {
+		t.Fatalf("InjectAcks on non-acking topology should error")
+	}
+
+	fwd := NewTopologyBuilder("fwd")
+	fwd.SetAcking(true).SetAckForwarder(func([]AckUpdate) {})
+	fwd.SetSpout("s", func() Spout { return &relayIngress{wire: make(chan wireTuple)} }, 1)
+	fwd.SetBolt("b", func() Bolt { return &relaySink{} }, 1).Shuffle("s")
+	ft, err := fwd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := ft.Submit()
+	defer fh.Stop()
+	if err := fh.InjectAcks([]AckUpdate{{Root: 1, Xor: 1}}); err == nil {
+		t.Fatalf("InjectAcks on forwarding topology should error")
+	}
+}

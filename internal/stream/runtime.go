@@ -32,6 +32,7 @@ type Topology struct {
 	linger     time.Duration
 	acking     bool
 	ackTimeout time.Duration
+	ackForward AckForwarder
 	queueDepth int
 	ackerDepth int
 	bpHigh     int // spout throttle high-water mark, in queued batches
@@ -503,6 +504,7 @@ func newRuntime(t *Topology, onError func(string, error)) *runtime {
 	}
 	if t.acking {
 		rt.ak = newAcker(rt, t.ackTimeout, t.ackerDepth)
+		rt.ak.forward = t.ackForward
 	}
 	rt.tracer = t.tracer
 	if t.bpHigh > 0 {
@@ -604,7 +606,7 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 	}
 	defer func() { sp.Close() }()
 	as, canAck := sp.(AckingSpout)
-	col.anchorOK = rt.ak != nil && canAck
+	col.anchorOK = rt.ak != nil && canAck && rt.ak.forward == nil
 	var ackScratch []ackResult
 	for {
 		select {
@@ -621,7 +623,7 @@ func (rt *runtime) runSpoutTask(decl *spoutDecl, tk *task) {
 					return
 				}
 				as, canAck = sp.(AckingSpout)
-				col.anchorOK = rt.ak != nil && canAck
+				col.anchorOK = rt.ak != nil && canAck && rt.ak.forward == nil
 			}
 		default:
 			if rt.paused.Load() {

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench_snapshot.sh - run the headline benchmarks at a fixed -benchtime
-# and write the results to a JSON snapshot (BENCH_PR9.json by default).
+# and write the results to a JSON snapshot (BENCH_PR10.json by default).
 #
 # Fixed iteration counts (-benchtime=Nx) keep runs comparable across
 # machines and across PRs: the interesting number is ns/op at a known
@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 # Snapshot label derived from the output name (BENCH_PR5.json -> PR5),
 # so rerunning under a different name stays self-describing.
 snap="$(basename "$out" .json)"
@@ -59,6 +59,15 @@ run "serving-tier read mix, tier on vs off (50000x)" \
 run "burst workload under overflow spill (50000x)" \
 	-run=NONE -bench='BenchmarkBurstOverflow$' \
 	-benchtime=50000x -count=3 ./internal/stream/
+
+run "in-process edge baseline for the wire comparison (10000x)" \
+	-run=NONE -bench='BenchmarkEmitRoute$' \
+	-benchtime=10000x -count=3 ./internal/stream/
+
+run "cluster wire transport: codec, TCP loopback throughput, one-way latency (2000x)" \
+	-run=NONE \
+	-bench='BenchmarkWireEncodeBatch$|BenchmarkWireDecodeBatch$|BenchmarkWireLoopback$|BenchmarkWireRoundTripLatency$' \
+	-benchtime=2000x -count=3 ./internal/cluster/
 
 run "observability hot-path microbenchmarks" \
 	-run=NONE \

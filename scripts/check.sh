@@ -29,6 +29,9 @@ go test -race -run 'TestTornWAL|TestFailpoint|TestGroupCommit|TestLDBCrashReopen
 echo "== go test -race (stream, topology incl. chaos soak, tdaccess, tdstore, serving, obsv)"
 go test -race ./internal/stream/... ./internal/topology/... ./internal/tdaccess/... ./internal/tdstore/... ./internal/serving/ ./internal/obsv/
 
+echo "== go test -race cluster runtime (wire codecs, planning, supervisor + 2 real worker processes, kill -9 soak)"
+go test -race ./internal/cluster/
+
 echo "== transport benchmarks (smoke)"
 go test -run=NONE -bench='BenchmarkEmitRoute|BenchmarkHashValues' -benchtime=100x ./internal/stream/
 
@@ -51,6 +54,9 @@ for target in FuzzDecodeHistory FuzzDecodeList FuzzDecodeProfile \
 	FuzzHistoryDelta FuzzListDelta FuzzDecodeFloat; do
 	go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/statecodec/
 done
+
+echo "== cluster wire fuzz smoke (frame reader + batch/ack/hello decoders)"
+go test -run=NONE -fuzz='^FuzzWireFrame$' -fuzztime=5s ./internal/cluster/
 
 echo "== codec append paths and top-K insert stay allocation-free"
 zero_out=$(go test -run=NONE \
